@@ -1,0 +1,136 @@
+// M1 — the "Metacomputing Tools" project's own evaluation (the paper's
+// companion reference [1], Eickermann/Grund/Henrichs, "Performance issues
+// of distributed MPI applications in a German gigabit testbed"): latency
+// and bandwidth of the meta communication library inside a machine vs
+// between machines, and collective cost as rank counts and machine splits
+// grow.  The headline metacomputing lesson is the orders-of-magnitude gap
+// between the two fabrics — the reason only loosely-coupled applications
+// profit from the metacomputer.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "meta/communicator.hpp"
+#include "net/probe.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace gtw;
+
+struct Rig {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  meta::Metacomputer mc{tb.scheduler()};
+  int t3e, sp2;
+
+  Rig() {
+    meta::MachineSpec a;
+    a.name = "T3E";
+    a.max_pes = 512;
+    a.frontend = &tb.t3e600();
+    meta::MachineSpec b;
+    b.name = "SP2";
+    b.max_pes = 64;
+    b.frontend = &tb.sp2();
+    t3e = mc.add_machine(a);
+    sp2 = mc.add_machine(b);
+    net::TcpConfig cfg;
+    cfg.mss = tb.options().atm_mtu - 40;
+    cfg.recv_buffer = 1u << 20;
+    mc.link_machines(t3e, sp2, cfg, 7000);
+  }
+};
+
+// One message from rank 0 to rank 1; returns (latency of first byte-train,
+// i.e. delivery time) in seconds.
+double message_time(Rig& rig, bool cross_machine, std::uint64_t bytes) {
+  std::vector<meta::ProcLoc> locs;
+  locs.push_back({rig.t3e, 0});
+  locs.push_back(cross_machine ? meta::ProcLoc{rig.sp2, 0}
+                               : meta::ProcLoc{rig.t3e, 1});
+  meta::Communicator comm(rig.mc, locs);
+  const des::SimTime t0 = rig.tb.scheduler().now();
+  des::SimTime t1 = t0;
+  comm.recv(1, 0, 0, [&](const meta::Message&) {
+    t1 = rig.tb.scheduler().now();
+  });
+  comm.send(0, 1, 0, bytes);
+  rig.tb.scheduler().run();
+  return (t1 - t0).sec();
+}
+
+void print_m1() {
+  std::printf("== M1: meta-library performance, intra-machine vs WAN ==\n");
+  std::printf("%10s | %14s | %14s | %8s\n", "message", "intra (T3E)",
+              "inter (WAN)", "ratio");
+  Rig rig;  // reused; each probe builds a fresh communicator
+  for (std::uint64_t bytes : {0ull, 1024ull, 65536ull, 1048576ull,
+                              8388608ull}) {
+    Rig r1, r2;
+    const double intra = message_time(r1, false, bytes);
+    const double inter = message_time(r2, true, bytes);
+    std::printf("%8llu B | %11.3f ms | %11.3f ms | %7.0fx\n",
+                static_cast<unsigned long long>(bytes), intra * 1e3,
+                inter * 1e3, inter / std::max(intra, 1e-12));
+  }
+
+  std::printf("\nbarrier cost vs rank layout (all ranks enter at t=0):\n");
+  for (const auto& [na, nb] : {std::pair{4, 0}, std::pair{16, 0},
+                               std::pair{2, 2}, std::pair{8, 8}}) {
+    Rig r;
+    std::vector<meta::ProcLoc> locs;
+    for (int i = 0; i < na; ++i) locs.push_back({r.t3e, i});
+    for (int i = 0; i < nb; ++i) locs.push_back({r.sp2, i});
+    meta::Communicator comm(r.mc, std::move(locs));
+    des::SimTime done;
+    int remaining = na + nb;
+    for (int rank = 0; rank < na + nb; ++rank) {
+      comm.barrier(rank, [&]() {
+        if (--remaining == 0) done = r.tb.scheduler().now();
+      });
+    }
+    r.tb.scheduler().run();
+    std::printf("  %2d T3E + %2d SP2 ranks: %8.3f ms %s\n", na, nb,
+                done.ms(), nb > 0 ? "(crosses the WAN)" : "");
+  }
+
+  std::printf("\nraw path check (UDP echo, 56-byte probes):\n");
+  {
+    testbed::Testbed tb{testbed::TestbedOptions{}};
+    net::EchoResponder echo(tb.sp2(), 9999);
+    net::Pinger ping(tb.t3e600(), tb.sp2().id(), 9999, 10);
+    ping.start([](const net::PingReport& rep) {
+      std::printf("  t3e600 -> sp2: %d/%d replies, rtt %.3f ms mean "
+                  "(min %.3f)\n", rep.received, rep.sent, rep.rtt_ms.mean(),
+                  rep.rtt_ms.min());
+    });
+    tb.scheduler().run();
+  }
+  std::printf("\n");
+}
+
+void BM_IntraMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    Rig r;
+    benchmark::DoNotOptimize(message_time(r, false, 65536));
+  }
+}
+BENCHMARK(BM_IntraMessage)->Unit(benchmark::kMicrosecond);
+
+void BM_WanMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    Rig r;
+    benchmark::DoNotOptimize(message_time(r, true, 65536));
+  }
+}
+BENCHMARK(BM_WanMessage)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_m1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's flagship scenario end to end: a synthetic MRI scanner streams
+// brain volumes through the RT-server to the simulated Cray T3E, the FIRE
+// analysis chain (median filter, motion correction, detrending, incremental
+// correlation) runs on real data, results return to the RT-client, and the
+// functional map is merged onto a high-resolution anatomical head for the
+// Onyx-2 / Responsive Workbench leg.
+//
+//   $ ./fmri_realtime
+#include <cstdio>
+
+#include "fire/pipeline.hpp"
+#include "scanner/phantom.hpp"
+#include "testbed/testbed.hpp"
+#include "viz/merge.hpp"
+#include "viz/workbench.hpp"
+
+int main() {
+  using namespace gtw;
+
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+
+  // Synthetic subject: activation blob in the left motor cortex area, mild
+  // head motion, realistic noise and drift.
+  scanner::FmriConfig scfg;
+  scfg.dims = {32, 32, 8};
+  scfg.regions = {{9, 20, 4, 3.0, 0.05}};
+  scfg.noise_sigma = 2.0;
+  scfg.motion.jitter = 0.1;
+  scfg.expected_scans = 16;
+  scanner::FmriSeriesGenerator gen(scfg);
+
+  fire::AnalysisConfig acfg;
+  acfg.stimulus = scfg.stimulus;
+  acfg.hrf = scfg.hrf;
+  acfg.tr_s = scfg.tr_s;
+  acfg.detrend_cfg.expected_scans = scfg.expected_scans;
+  fire::AnalysisEngine engine(scfg.dims, acfg);
+
+  fire::PipelineConfig pcfg;
+  pcfg.n_scans = 16;
+  pcfg.t3e_pes = 256;
+  fire::FmriPipeline pipe(
+      tb.scheduler(),
+      {&tb.scanner_frontend(), &tb.gw_o200(), &tb.onyx2_juelich()}, pcfg,
+      [&gen](int t) { return gen.acquire(t); }, &engine);
+
+  std::printf("scanning 16 volumes at TR = %.0f s, processing on %d T3E "
+              "PEs...\n", pcfg.tr_s, pcfg.t3e_pes);
+  pipe.start();
+  tb.scheduler().run();
+
+  const fire::PipelineResult res = pipe.result();
+  std::printf("mean acquisition->display delay: %.2f s (paper: < 5 s)\n",
+              res.mean_total_delay_s);
+  std::printf("sustained display period: %.2f s; scans skipped: %d\n",
+              res.sustained_period_s, res.scans_skipped);
+
+  // Detected activation vs ground truth.
+  const fire::VolumeF map = engine.correlation_map();
+  const auto mask = gen.activation_mask();
+  double active = 0, quiet = 0;
+  int na = 0, nq = 0;
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (mask[i]) {
+      active += map[i];
+      ++na;
+    } else if (gen.baseline()[i] > 100.0f) {
+      quiet += std::abs(map[i]);
+      ++nq;
+    }
+  }
+  std::printf("correlation: %.2f mean in the driven region (%d voxels) vs "
+              "%.2f in quiet tissue\n", active / na, na, quiet / nq);
+  std::printf("last motion estimate: tx=%.2f ty=%.2f voxels\n",
+              engine.last_motion().tx, engine.last_motion().ty);
+
+  // Onyx-2 leg: merge onto the anatomical head and check the workbench
+  // streaming budget.
+  const fire::VolumeF anat = scanner::make_anatomical({256, 256, 128});
+  const viz::MergeResult merged = viz::merge_functional(anat, map, 0.4f);
+  std::printf("3-D merge: %zu anatomical voxels flagged (peak r = %.2f)\n",
+              merged.activated_voxels, merged.peak_correlation);
+  viz::WorkbenchFormat fmt;
+  std::printf("workbench: %.1f MB/frame -> %.2f frames/s over 622 Mbit/s "
+              "classical IP (paper: < 8)\n",
+              static_cast<double>(fmt.frame_bytes()) / 1e6,
+              viz::classical_ip_fps(fmt, 622.08e6));
+  return 0;
+}

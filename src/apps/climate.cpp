@@ -1,0 +1,169 @@
+#include "apps/climate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gtw::apps {
+
+double Field2D::mean() const {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+Field2D regrid(const Field2D& src, int nx, int ny) {
+  Field2D out(nx, ny);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      // Map cell centres; clamp to the source interior.
+      const double sx = (x + 0.5) * src.nx / nx - 0.5;
+      const double sy = (y + 0.5) * src.ny / ny - 0.5;
+      const int x0 = std::clamp(static_cast<int>(std::floor(sx)), 0, src.nx - 1);
+      const int y0 = std::clamp(static_cast<int>(std::floor(sy)), 0, src.ny - 1);
+      const int x1 = std::min(x0 + 1, src.nx - 1);
+      const int y1 = std::min(y0 + 1, src.ny - 1);
+      const double fx = std::clamp(sx - x0, 0.0, 1.0);
+      const double fy = std::clamp(sy - y0, 0.0, 1.0);
+      out.at(x, y) = (1 - fx) * (1 - fy) * src.at(x0, y0) +
+                     fx * (1 - fy) * src.at(x1, y0) +
+                     (1 - fx) * fy * src.at(x0, y1) +
+                     fx * fy * src.at(x1, y1);
+    }
+  }
+  return out;
+}
+
+Field2D regrid_conservative(const Field2D& src, int nx, int ny) {
+  Field2D out(nx, ny);
+  // Overlap of destination cell [x, x+1) x [y, y+1) (in destination units)
+  // with source cells, computed per axis: the 1-D overlap of dst interval
+  // [a, b) with src cell [c, c+1) in source units.
+  const double sx = static_cast<double>(src.nx) / nx;
+  const double sy = static_cast<double>(src.ny) / ny;
+  for (int y = 0; y < ny; ++y) {
+    const double y0 = y * sy, y1 = (y + 1) * sy;
+    for (int x = 0; x < nx; ++x) {
+      const double x0 = x * sx, x1 = (x + 1) * sx;
+      double acc = 0.0, area = 0.0;
+      for (int cy = static_cast<int>(y0); cy < src.ny &&
+                                          static_cast<double>(cy) < y1; ++cy) {
+        const double wy = std::min(y1, static_cast<double>(cy) + 1.0) -
+                          std::max(y0, static_cast<double>(cy));
+        if (wy <= 0.0) continue;
+        for (int cx = static_cast<int>(x0);
+             cx < src.nx && static_cast<double>(cx) < x1; ++cx) {
+          const double wx = std::min(x1, static_cast<double>(cx) + 1.0) -
+                            std::max(x0, static_cast<double>(cx));
+          if (wx <= 0.0) continue;
+          acc += wx * wy * src.at(cx, cy);
+          area += wx * wy;
+        }
+      }
+      out.at(x, y) = area > 0.0 ? acc / area : 0.0;
+    }
+  }
+  return out;
+}
+
+OceanModel::OceanModel(OceanConfig cfg)
+    : cfg_(cfg), sst_(cfg.nx, cfg.ny, cfg.initial_sst) {}
+
+void OceanModel::step(const Field2D& heat_flux) {
+  Field2D next = sst_;
+  for (int y = 0; y < cfg_.ny; ++y) {
+    for (int x = 0; x < cfg_.nx; ++x) {
+      const int xm = (x - 1 + cfg_.nx) % cfg_.nx;  // periodic in longitude
+      const int xp = (x + 1) % cfg_.nx;
+      const int ym = std::max(y - 1, 0);
+      const int yp = std::min(y + 1, cfg_.ny - 1);
+      const double lap = sst_.at(xm, y) + sst_.at(xp, y) + sst_.at(x, ym) +
+                         sst_.at(x, yp) - 4.0 * sst_.at(x, y);
+      // Upwind zonal advection by the mean current.
+      const double adv = cfg_.advection_u * (sst_.at(xm, y) - sst_.at(x, y));
+      const double forcing = heat_flux.at(x, y) / cfg_.heat_capacity;
+      next.at(x, y) = sst_.at(x, y) + cfg_.diffusivity * lap + adv + forcing;
+    }
+  }
+  sst_ = std::move(next);
+}
+
+int OceanModel::ice_cells() const {
+  int n = 0;
+  for (double t : sst_.v)
+    if (t < 271.35) ++n;
+  return n;
+}
+
+AtmosModel::AtmosModel(AtmosConfig cfg) : cfg_(cfg) {}
+
+Field2D AtmosModel::compute_flux(const Field2D& sst) const {
+  Field2D flux(cfg_.nx, cfg_.ny);
+  for (int y = 0; y < cfg_.ny; ++y) {
+    // Latitude from grid row: -pi/2 .. pi/2.
+    const double lat = (static_cast<double>(y) + 0.5) / cfg_.ny * M_PI -
+                       M_PI / 2.0;
+    const double solar =
+        cfg_.solar_equator * std::max(std::cos(lat), 0.05) * (1 - cfg_.albedo);
+    for (int x = 0; x < cfg_.nx; ++x) {
+      const double t = sst.at(x, y);
+      const double olr = cfg_.olr_a + cfg_.olr_b * (t - 273.0);
+      // Air-sea exchange pulls toward a latitude-dependent air temperature.
+      const double t_air = 288.0 - 40.0 * (1.0 - std::cos(lat));
+      const double sensible = cfg_.exchange * (t_air - t);
+      flux.at(x, y) = solar - olr + sensible;
+    }
+  }
+  return flux;
+}
+
+ClimateCoupling::ClimateCoupling(std::shared_ptr<meta::Communicator> comm,
+                                 OceanConfig ocfg, AtmosConfig acfg,
+                                 int steps)
+    : comm_(std::move(comm)), ocean_(ocfg), atmos_(acfg), steps_(steps) {}
+
+void ClimateCoupling::start() {
+  started_ = comm_->metacomputer().scheduler().now();
+  step(0);
+}
+
+void ClimateCoupling::step(int n) {
+  auto& sched = comm_->metacomputer().scheduler();
+  if (n >= steps_) {
+    result_.elapsed_s = (sched.now() - started_).sec();
+    result_.mean_sst = ocean_.sst().mean();
+    result_.ice_cells = ocean_.ice_cells();
+    if (steps_ > 0) result_.exchange_latency_s = comm_time_accum_ / steps_;
+    return;
+  }
+  const des::SimTime comm_begin = sched.now();
+
+  // Ocean (rank 0) sends SST up to the atmosphere (rank 1).
+  auto sst = std::make_shared<Field2D>(ocean_.sst());
+  result_.bytes_per_step = sst->bytes();
+  comm_->recv(1, 0, /*tag=*/2 * n, [this, n, comm_begin,
+                                    &sched](const meta::Message& msg) {
+    auto sst_up = std::any_cast<std::shared_ptr<Field2D>>(msg.data);
+    // Flux coupler: regrid SST to the atmosphere grid, compute fluxes,
+    // regrid back to the ocean grid.
+    const Field2D sst_atm =
+        regrid(*sst_up, atmos_.config().nx, atmos_.config().ny);
+    auto flux = std::make_shared<Field2D>(atmos_.compute_flux(sst_atm));
+
+    comm_->recv(0, 1, /*tag=*/2 * n + 1, [this, n, comm_begin,
+                                          &sched](const meta::Message& m2) {
+      auto flux_down = std::any_cast<std::shared_ptr<Field2D>>(m2.data);
+      const Field2D flux_ocean =
+          regrid(*flux_down, ocean_.config().nx, ocean_.config().ny);
+      comm_time_accum_ += (sched.now() - comm_begin).sec();
+      ocean_.step(flux_ocean);
+      ++result_.steps_completed;
+      step(n + 1);
+    });
+    result_.bytes_per_step += flux->bytes();
+    comm_->send(1, 0, /*tag=*/2 * n + 1, flux->bytes(), flux);
+  });
+  comm_->send(0, 1, /*tag=*/2 * n, sst->bytes(), sst);
+}
+
+}  // namespace gtw::apps

@@ -1,0 +1,236 @@
+#include "apps/cocolib.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtw::apps::coco {
+
+InterfaceMesh InterfaceMesh::uniform(int n) {
+  InterfaceMesh m;
+  m.nodes.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    m.nodes[static_cast<std::size_t>(i)] =
+        static_cast<double>(i) / (n - 1);
+  return m;
+}
+
+std::vector<double> transfer(const std::vector<double>& values,
+                             const InterfaceMesh& from,
+                             const InterfaceMesh& to) {
+  if (values.size() != from.size())
+    throw std::invalid_argument("transfer: value/mesh size mismatch");
+  std::vector<double> out(to.size());
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    const double x = to.nodes[i];
+    // Find the source interval containing x.
+    const auto it = std::upper_bound(from.nodes.begin(), from.nodes.end(), x);
+    if (it == from.nodes.begin()) {
+      out[i] = values.front();
+      continue;
+    }
+    if (it == from.nodes.end()) {
+      out[i] = values.back();
+      continue;
+    }
+    const std::size_t hi = static_cast<std::size_t>(
+        std::distance(from.nodes.begin(), it));
+    const std::size_t lo = hi - 1;
+    const double span = from.nodes[hi] - from.nodes[lo];
+    const double t = span > 0.0 ? (x - from.nodes[lo]) / span : 0.0;
+    out[i] = (1.0 - t) * values[lo] + t * values[hi];
+  }
+  return out;
+}
+
+ChannelFlow::ChannelFlow(InterfaceMesh mesh, ChannelConfig cfg)
+    : mesh_(std::move(mesh)), cfg_(cfg) {}
+
+double ChannelFlow::flux(const std::vector<double>& gap) const {
+  // q = (p_in - p_out) / integral( dx / h^3 )  (viscosity folded into q).
+  double resistance = 0.0;
+  for (std::size_t i = 1; i < mesh_.size(); ++i) {
+    const double dx = mesh_.nodes[i] - mesh_.nodes[i - 1];
+    const double h = 0.5 * (gap[i] + gap[i - 1]);
+    resistance += dx / (h * h * h);
+  }
+  if (resistance <= 0.0) return 0.0;
+  return (cfg_.p_in - cfg_.p_out) / resistance;
+}
+
+std::vector<double> ChannelFlow::pressure(
+    const std::vector<double>& gap) const {
+  if (gap.size() != mesh_.size())
+    throw std::invalid_argument("ChannelFlow: gap size mismatch");
+  for (double h : gap)
+    if (h <= 0.0) throw std::domain_error("ChannelFlow: closed gap");
+  const double q = flux(gap);
+  std::vector<double> p(mesh_.size());
+  p[0] = cfg_.p_in;
+  for (std::size_t i = 1; i < mesh_.size(); ++i) {
+    const double dx = mesh_.nodes[i] - mesh_.nodes[i - 1];
+    const double h = 0.5 * (gap[i] + gap[i - 1]);
+    p[i] = p[i - 1] - q * dx / (h * h * h);
+  }
+  return p;
+}
+
+ElasticWall::ElasticWall(InterfaceMesh mesh, WallConfig cfg)
+    : mesh_(std::move(mesh)), cfg_(cfg) {}
+
+std::vector<double> ElasticWall::deflection(
+    const std::vector<double>& pressure) const {
+  const std::size_t n = mesh_.size();
+  if (pressure.size() != n)
+    throw std::invalid_argument("ElasticWall: pressure size mismatch");
+  if (n < 3) return std::vector<double>(n, 0.0);
+
+  // Interior unknowns w[1..n-2]; Thomas algorithm on the tridiagonal SPD
+  // system from -T w'' + k w = p on the (possibly non-uniform) mesh.
+  std::vector<double> a(n, 0.0), b(n, 0.0), c(n, 0.0), d(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double hl = mesh_.nodes[i] - mesh_.nodes[i - 1];
+    const double hr = mesh_.nodes[i + 1] - mesh_.nodes[i];
+    const double vol = 0.5 * (hl + hr);
+    a[i] = -cfg_.tension / hl;
+    c[i] = -cfg_.tension / hr;
+    b[i] = cfg_.tension / hl + cfg_.tension / hr + cfg_.foundation * vol;
+    d[i] = pressure[i] * vol;
+  }
+  // Forward elimination (w[0] = w[n-1] = 0 drop the edge couplings).
+  for (std::size_t i = 2; i + 1 < n; ++i) {
+    const double m = a[i] / b[i - 1];
+    b[i] -= m * c[i - 1];
+    d[i] -= m * d[i - 1];
+  }
+  std::vector<double> w(n, 0.0);
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    const double upper = i + 2 < n ? c[i] * w[i + 1] : 0.0;
+    w[i] = (d[i] - upper) / b[i];
+    if (i == 1) break;
+  }
+  return w;
+}
+
+namespace {
+
+// One fixed-point update: given the wall deflection (on the wall mesh),
+// compute the fluid pressure, map it to the wall, compute the new
+// deflection, and under-relax.  Returns the residual.
+struct StepResult {
+  std::vector<double> w_new;
+  std::vector<double> p_fluid;
+  double residual = 0.0;
+};
+
+StepResult fsi_step(const ChannelFlow& fluid, const ElasticWall& wall,
+                    const FsiConfig& cfg, const std::vector<double>& w_wall) {
+  // Wall deflection -> gap on the fluid mesh.  Positive pressure pushes
+  // the wall outward, widening the channel: gap = h0 + w.  Negative
+  // deflections (suction) are clamped before the gap closes.
+  std::vector<double> w_fluid =
+      transfer(w_wall, wall.mesh(), fluid.mesh());
+  std::vector<double> gap(w_fluid.size());
+  for (std::size_t i = 0; i < gap.size(); ++i) {
+    const double w = std::max(w_fluid[i],
+                              -cfg.max_gap_closure * cfg.channel.h0);
+    gap[i] = cfg.channel.h0 + w;
+  }
+  StepResult out;
+  out.p_fluid = fluid.pressure(gap);
+  // Pressure -> wall mesh -> new deflection.
+  const std::vector<double> p_wall =
+      transfer(out.p_fluid, fluid.mesh(), wall.mesh());
+  const std::vector<double> w_raw = wall.deflection(p_wall);
+  out.w_new.resize(w_wall.size());
+  for (std::size_t i = 0; i < w_wall.size(); ++i) {
+    out.w_new[i] =
+        (1.0 - cfg.relaxation) * w_wall[i] + cfg.relaxation * w_raw[i];
+    out.residual = std::max(out.residual, std::abs(out.w_new[i] - w_wall[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+FsiResult couple_serial(const InterfaceMesh& fluid_mesh,
+                        const InterfaceMesh& wall_mesh, FsiConfig cfg) {
+  ChannelFlow fluid(fluid_mesh, cfg.channel);
+  ElasticWall wall(wall_mesh, cfg.wall);
+  FsiResult res;
+  std::vector<double> w(wall_mesh.size(), 0.0);
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    StepResult step = fsi_step(fluid, wall, cfg, w);
+    w = std::move(step.w_new);
+    res.iterations = it + 1;
+    res.residual = step.residual;
+    res.pressure = std::move(step.p_fluid);
+    if (step.residual < cfg.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.deflection = w;
+  // Final flux through the converged gap.
+  std::vector<double> gap(fluid_mesh.size());
+  const std::vector<double> w_fluid = transfer(w, wall_mesh, fluid_mesh);
+  for (std::size_t i = 0; i < gap.size(); ++i)
+    gap[i] = cfg.channel.h0 +
+             std::max(w_fluid[i], -cfg.max_gap_closure * cfg.channel.h0);
+  res.flux = ChannelFlow(fluid_mesh, cfg.channel).flux(gap);
+  return res;
+}
+
+DistributedFsi::DistributedFsi(std::shared_ptr<meta::Communicator> comm,
+                               InterfaceMesh fluid_mesh,
+                               InterfaceMesh wall_mesh, FsiConfig cfg)
+    : comm_(std::move(comm)), fluid_(std::move(fluid_mesh), cfg.channel),
+      wall_(std::move(wall_mesh), cfg.wall), cfg_(cfg) {}
+
+void DistributedFsi::start() {
+  started_ = comm_->metacomputer().scheduler().now();
+  iterate(0, std::make_shared<std::vector<double>>(wall_.mesh().size(), 0.0));
+}
+
+void DistributedFsi::iterate(int n,
+                             std::shared_ptr<std::vector<double>> w_wall) {
+  auto& sched = comm_->metacomputer().scheduler();
+  if (n >= cfg_.max_iterations || result_.converged) {
+    result_.deflection = *w_wall;
+    result_.elapsed_s = (sched.now() - started_).sec();
+    std::vector<double> gap(fluid_.mesh().size());
+    const std::vector<double> w_fluid =
+        transfer(*w_wall, wall_.mesh(), fluid_.mesh());
+    for (std::size_t i = 0; i < gap.size(); ++i)
+      gap[i] = cfg_.channel.h0 +
+               std::max(w_fluid[i], -cfg_.max_gap_closure * cfg_.channel.h0);
+    result_.flux = fluid_.flux(gap);
+    return;
+  }
+  // Structure (rank 1) sends the current deflection to the fluid (rank 0).
+  const std::uint64_t w_bytes = w_wall->size() * sizeof(double);
+  result_.bytes_exchanged += w_bytes;
+  comm_->recv(0, 1, 2 * n, [this, n, w_wall](const meta::Message&) {
+    // Fluid side computes pressure and returns it.
+    const StepResult step = fsi_step(fluid_, wall_, cfg_, *w_wall);
+    auto payload = std::make_shared<StepResult>(step);
+    const std::uint64_t p_bytes = step.p_fluid.size() * sizeof(double);
+    result_.bytes_exchanged += p_bytes;
+    comm_->recv(1, 0, 2 * n + 1,
+                [this, n, w_wall](const meta::Message& m2) {
+      // Structure side adopts the relaxed update and checks convergence.
+      auto got = std::any_cast<std::shared_ptr<StepResult>>(m2.data);
+      *w_wall = got->w_new;
+      result_.iterations = n + 1;
+      result_.residual = got->residual;
+      result_.pressure = got->p_fluid;
+      if (got->residual < cfg_.tolerance) result_.converged = true;
+      iterate(n + 1, w_wall);
+    });
+    comm_->send(0, 1, 2 * n + 1, p_bytes, payload);
+  });
+  comm_->send(1, 0, 2 * n, w_bytes, std::any{});
+}
+
+}  // namespace gtw::apps::coco

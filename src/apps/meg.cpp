@@ -1,0 +1,298 @@
+#include "apps/meg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/solve.hpp"
+
+namespace gtw::apps {
+
+namespace {
+Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+Vec3 sub(const Vec3& a, const Vec3& b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+Vec3 scale(const Vec3& a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+
+constexpr double kMu0Over4Pi = 1e-7;
+}  // namespace
+
+Vec3 sarvas_field(const Vec3& r0, const Vec3& q, const Vec3& r) {
+  const Vec3 a_vec = sub(r, r0);
+  const double a = norm(a_vec);
+  const double rn = norm(r);
+  const double ar = dot(a_vec, r);
+  const double f = a * (rn * a + rn * rn - dot(r0, r));
+  if (std::abs(f) < 1e-30) return {};
+  // grad F.
+  const double c1 = a * a / rn + ar / a + 2.0 * a + 2.0 * rn;
+  const double c2 = a + 2.0 * rn + ar / a;
+  const Vec3 grad_f = sub(scale(r, c1), scale(r0, c2));
+  const Vec3 qxr0 = cross(q, r0);
+  const double qxr0_dot_r = dot(qxr0, r);
+  Vec3 b = sub(scale(qxr0, f), scale(grad_f, qxr0_dot_r));
+  return scale(b, kMu0Over4Pi / (f * f));
+}
+
+MegSimulator::MegSimulator(MegConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  // Fibonacci spiral over the upper hemisphere.
+  sensors_.reserve(static_cast<std::size_t>(cfg_.n_sensors));
+  const double golden = M_PI * (3.0 - std::sqrt(5.0));
+  for (int i = 0; i < cfg_.n_sensors; ++i) {
+    const double zfrac = 0.15 + 0.85 * (i + 0.5) / cfg_.n_sensors;  // z > 0
+    const double theta = golden * i;
+    const double rxy = std::sqrt(std::max(0.0, 1.0 - zfrac * zfrac));
+    sensors_.push_back(scale(
+        Vec3{rxy * std::cos(theta), rxy * std::sin(theta), zfrac},
+        cfg_.helmet_radius));
+  }
+}
+
+linalg::Matrix MegSimulator::simulate(
+    const std::vector<SimulatedDipole>& dipoles, double sample_rate_hz) const {
+  linalg::Matrix data(static_cast<std::size_t>(cfg_.n_sensors),
+                      static_cast<std::size_t>(cfg_.n_samples));
+  // Precompute per-dipole sensor gains (radial component).
+  std::vector<std::vector<double>> gains;
+  for (const SimulatedDipole& d : dipoles) {
+    std::vector<double> g;
+    g.reserve(sensors_.size());
+    for (const Vec3& s : sensors_) {
+      const Vec3 b = sarvas_field(d.position, d.moment, s);
+      const Vec3 radial = scale(s, 1.0 / norm(s));
+      g.push_back(dot(b, radial));
+    }
+    gains.push_back(std::move(g));
+  }
+  for (int t = 0; t < cfg_.n_samples; ++t) {
+    const double time = t / sample_rate_hz;
+    for (int s = 0; s < cfg_.n_sensors; ++s) {
+      double v = rng_.normal(0.0, cfg_.noise_sigma);
+      for (std::size_t di = 0; di < dipoles.size(); ++di) {
+        v += gains[di][static_cast<std::size_t>(s)] *
+             std::sin(2.0 * M_PI * dipoles[di].freq_hz * time +
+                      dipoles[di].phase);
+      }
+      data(static_cast<std::size_t>(s), static_cast<std::size_t>(t)) = v;
+    }
+  }
+  return data;
+}
+
+MusicScanner::MusicScanner(std::vector<Vec3> sensors)
+    : sensors_(std::move(sensors)) {}
+
+linalg::Matrix MusicScanner::noise_projector(const linalg::Matrix& data,
+                                             int n_sources) const {
+  const std::size_t n = data.rows();
+  // Covariance C = X X^T / T.
+  linalg::Matrix c(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < data.cols(); ++t)
+        acc += data(i, t) * data(j, t);
+      c(i, j) = c(j, i) = acc / static_cast<double>(data.cols());
+    }
+  const linalg::EigenResult e = linalg::eigen_symmetric(c);
+  // Pn = I - Us Us^T over the top n_sources eigenvectors.
+  linalg::Matrix pn = linalg::Matrix::identity(n);
+  for (int k = 0; k < n_sources; ++k) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        pn(i, j) -= e.vectors(i, static_cast<std::size_t>(k)) *
+                    e.vectors(j, static_cast<std::size_t>(k));
+  }
+  return pn;
+}
+
+double MusicScanner::metric(const linalg::Matrix& pn, const Vec3& pos) const {
+  const std::size_t n = sensors_.size();
+  // Gain matrix for the two tangential unit moments (radial dipoles are
+  // magnetically silent in a sphere).
+  const double rn = norm(pos);
+  Vec3 e1, e2;
+  if (rn < 1e-9) {
+    e1 = {1, 0, 0};
+    e2 = {0, 1, 0};
+  } else {
+    const Vec3 rad = scale(pos, 1.0 / rn);
+    const Vec3 helper = std::abs(rad.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{1, 0, 0};
+    e1 = cross(rad, helper);
+    e1 = scale(e1, 1.0 / norm(e1));
+    e2 = cross(rad, e1);
+  }
+
+  linalg::Matrix g(n, 2);
+  for (std::size_t s = 0; s < n; ++s) {
+    const Vec3 radial = scale(sensors_[s], 1.0 / norm(sensors_[s]));
+    g(s, 0) = dot(sarvas_field(pos, e1, sensors_[s]), radial);
+    g(s, 1) = dot(sarvas_field(pos, e2, sensors_[s]), radial);
+  }
+
+  // Subspace correlation: smallest generalized eigenvalue of
+  // (G^T Pn G) m = lambda (G^T G) m; whiten with Cholesky of G^T G.
+  const linalg::Matrix gt = g.transposed();
+  linalg::Matrix gtg = gt * g;
+  const double tr = gtg(0, 0) + gtg(1, 1);
+  if (tr < 1e-40) return 0.0;
+  gtg(0, 0) += 1e-9 * tr;
+  gtg(1, 1) += 1e-9 * tr;
+  const linalg::Matrix gtpg = gt * (pn * g);
+
+  // 2x2 Cholesky.
+  const double l11 = std::sqrt(gtg(0, 0));
+  const double l21 = gtg(1, 0) / l11;
+  const double l22 = std::sqrt(std::max(gtg(1, 1) - l21 * l21, 1e-60));
+  // M = L^-1 A L^-T for A = gtpg: solve L X = A column-wise, then
+  // M = X L^-T (another forward substitution from the right).
+  const double a11 = gtpg(0, 0), a12 = gtpg(0, 1), a22 = gtpg(1, 1);
+  const double x11 = a11 / l11, x12 = a12 / l11;
+  const double x21 = (a12 - l21 * x11) / l22, x22 = (a22 - l21 * x12) / l22;
+  const double mm11 = x11 / l11;
+  const double mm12 = (x12 - l21 * mm11) / l22;
+  const double mm21 = x21 / l11;
+  const double mm22 = (x22 - l21 * mm21) / l22;
+  // Smallest eigenvalue of the symmetric 2x2 [[mm11, s],[s, mm22]].
+  const double sym = 0.5 * (mm12 + mm21);
+  const double mean = 0.5 * (mm11 + mm22);
+  const double disc = std::sqrt(std::max(
+      0.25 * (mm11 - mm22) * (mm11 - mm22) + sym * sym, 0.0));
+  const double lambda_min = std::max(mean - disc, 1e-12);
+  return 1.0 / lambda_min;
+}
+
+std::vector<MusicPeak> MusicScanner::localize(const linalg::Matrix& data,
+                                              const MusicConfig& cfg) const {
+  const linalg::Matrix pn = noise_projector(data, cfg.n_sources);
+  std::vector<MusicPeak> peaks;
+  for (int k = 0; k < cfg.n_sources; ++k) {
+    MusicPeak best;
+    for (int iz = 0; iz < cfg.grid_n; ++iz) {
+      for (int iy = 0; iy < cfg.grid_n; ++iy) {
+        for (int ix = 0; ix < cfg.grid_n; ++ix) {
+          const Vec3 pos{
+              -cfg.grid_extent + 2.0 * cfg.grid_extent * ix / (cfg.grid_n - 1),
+              -cfg.grid_extent + 2.0 * cfg.grid_extent * iy / (cfg.grid_n - 1),
+              0.02 +
+                  cfg.grid_extent * iz / (cfg.grid_n - 1)};  // upper head
+          bool excluded = false;
+          for (const MusicPeak& p : peaks)
+            if (norm(sub(p.position, pos)) < cfg.exclusion_radius)
+              excluded = true;
+          if (excluded) continue;
+          const double v = metric(pn, pos);
+          if (v > best.value) {
+            best.value = v;
+            best.position = pos;
+          }
+        }
+      }
+    }
+    peaks.push_back(best);
+  }
+  return peaks;
+}
+
+DistributedMusic::DistributedMusic(std::shared_ptr<meta::Communicator> comm,
+                                   MusicScanner scanner, MusicConfig cfg,
+                                   std::vector<double> metric_evals_per_s)
+    : comm_(std::move(comm)), scanner_(std::move(scanner)), cfg_(cfg),
+      rank_rate_(std::move(metric_evals_per_s)) {}
+
+void DistributedMusic::start(const linalg::Matrix& data) {
+  started_ = comm_->metacomputer().scheduler().now();
+  noise_proj_ = scanner_.noise_projector(data, cfg_.n_sources);
+  find_source(0);
+}
+
+void DistributedMusic::find_source(int k) {
+  if (k >= cfg_.n_sources) {
+    result_.peaks = accepted_;
+    result_.elapsed_s =
+        (comm_->metacomputer().scheduler().now() - started_).sec();
+    return;
+  }
+  // Each rank scans a contiguous slab of the z-grid and contributes its
+  // best candidate as [value, x, y, z]; allreduce(max on value) would need
+  // an argmax, so every rank contributes a 4-vector and the reduction takes
+  // elementwise max of (value) plus a gather-style pick below.
+  const int ranks = comm_->size();
+  auto local_best = std::make_shared<std::vector<MusicPeak>>(
+      static_cast<std::size_t>(ranks));
+  auto arrived = std::make_shared<int>(0);
+  double slowest_scan_s = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    // Slab of the outer grid dimension.
+    const int z0 = cfg_.grid_n * r / ranks;
+    const int z1 = cfg_.grid_n * (r + 1) / ranks;
+    // Charge this rank's scan time in simulated time (the numerics below
+    // run for real; the rate model decides how long the 1999 machine took).
+    double rank_scan_s = 0.0;
+    if (!rank_rate_.empty()) {
+      const double evals = static_cast<double>(z1 - z0) * cfg_.grid_n *
+                           cfg_.grid_n;
+      const double rate =
+          rank_rate_[static_cast<std::size_t>(r) % rank_rate_.size()];
+      if (rate > 0.0) rank_scan_s = evals / rate;
+      slowest_scan_s = std::max(slowest_scan_s, rank_scan_s);
+    }
+    MusicPeak best;
+    for (int iz = z0; iz < z1; ++iz) {
+      for (int iy = 0; iy < cfg_.grid_n; ++iy) {
+        for (int ix = 0; ix < cfg_.grid_n; ++ix) {
+          const Vec3 pos{
+              -cfg_.grid_extent +
+                  2.0 * cfg_.grid_extent * ix / (cfg_.grid_n - 1),
+              -cfg_.grid_extent +
+                  2.0 * cfg_.grid_extent * iy / (cfg_.grid_n - 1),
+              0.02 + cfg_.grid_extent * iz / (cfg_.grid_n - 1)};
+          bool excluded = false;
+          for (const MusicPeak& p : accepted_)
+            if (norm(sub(p.position, pos)) < cfg_.exclusion_radius)
+              excluded = true;
+          if (excluded) continue;
+          const double v = scanner_.metric(noise_proj_, pos);
+          if (v > best.value) {
+            best.value = v;
+            best.position = pos;
+          }
+        }
+      }
+    }
+    (*local_best)[static_cast<std::size_t>(r)] = best;
+    // The winning value travels through a latency-bound allreduce, entered
+    // by each rank once its own scan completes.
+    auto enter = [this, k, r, ranks, local_best, arrived,
+                  value = best.value]() {
+      comm_->allreduce(
+          r, {value}, meta::ReduceOp::kMax,
+          [this, k, ranks, local_best, arrived](std::vector<double> max_v) {
+            if (++*arrived < ranks) return;
+            ++result_.allreduce_rounds;
+            // Rank holding the maximum wins (ties: lowest rank).
+            MusicPeak winner;
+            for (const MusicPeak& p : *local_best)
+              if (p.value >= max_v[0] - 1e-12 && p.value > winner.value)
+                winner = p;
+            accepted_.push_back(winner);
+            find_source(k + 1);
+          });
+    };
+    if (rank_scan_s > 0.0) {
+      comm_->metacomputer().scheduler().schedule_after(
+          des::SimTime::seconds(rank_scan_s), enter);
+    } else {
+      enter();
+    }
+  }
+  result_.compute_s += slowest_scan_s;
+}
+
+}  // namespace gtw::apps

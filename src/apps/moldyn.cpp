@@ -1,0 +1,210 @@
+#include "apps/moldyn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gtw::apps {
+
+LjFluid::LjFluid(LjConfig cfg) : cfg_(cfg) {
+  const int n = cfg_.n_particles;
+  x_.resize(static_cast<std::size_t>(n));
+  y_.resize(static_cast<std::size_t>(n));
+  vx_.resize(static_cast<std::size_t>(n));
+  vy_.resize(static_cast<std::size_t>(n));
+  fx_.assign(static_cast<std::size_t>(n), 0.0);
+  fy_.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Square lattice start (avoids overlaps), Maxwell velocities.
+  const int side = static_cast<int>(std::ceil(std::sqrt(n)));
+  const double spacing = cfg_.box / side;
+  des::Rng rng(cfg_.seed);
+  double px = 0.0, py = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x_[static_cast<std::size_t>(i)] = (i % side + 0.5) * spacing;
+    y_[static_cast<std::size_t>(i)] = (i / side + 0.5) * spacing;
+    const double s = std::sqrt(cfg_.temperature);
+    vx_[static_cast<std::size_t>(i)] = rng.normal(0.0, s);
+    vy_[static_cast<std::size_t>(i)] = rng.normal(0.0, s);
+    px += vx_[static_cast<std::size_t>(i)];
+    py += vy_[static_cast<std::size_t>(i)];
+  }
+  // Remove centre-of-mass drift.
+  for (int i = 0; i < n; ++i) {
+    vx_[static_cast<std::size_t>(i)] -= px / n;
+    vy_[static_cast<std::size_t>(i)] -= py / n;
+  }
+  compute_forces();
+}
+
+void LjFluid::build_cells() {
+  cells_per_axis_ = std::max(1, static_cast<int>(cfg_.box / cfg_.cutoff));
+  cell_size_ = cfg_.box / cells_per_axis_;
+  cells_.assign(static_cast<std::size_t>(cells_per_axis_) * cells_per_axis_,
+                {});
+  for (int i = 0; i < cfg_.n_particles; ++i) {
+    int cx = static_cast<int>(x_[static_cast<std::size_t>(i)] / cell_size_);
+    int cy = static_cast<int>(y_[static_cast<std::size_t>(i)] / cell_size_);
+    cx = std::clamp(cx, 0, cells_per_axis_ - 1);
+    cy = std::clamp(cy, 0, cells_per_axis_ - 1);
+    cells_[static_cast<std::size_t>(cy) * cells_per_axis_ + cx].push_back(i);
+  }
+}
+
+void LjFluid::compute_forces() {
+  build_cells();
+  std::fill(fx_.begin(), fx_.end(), 0.0);
+  std::fill(fy_.begin(), fy_.end(), 0.0);
+  cached_pe_ = 0.0;
+  const double rc2 = cfg_.cutoff * cfg_.cutoff;
+
+  auto interact = [&](int i, int j) {
+    double dx = x_[static_cast<std::size_t>(i)] - x_[static_cast<std::size_t>(j)];
+    double dy = y_[static_cast<std::size_t>(i)] - y_[static_cast<std::size_t>(j)];
+    // Minimum image.
+    if (dx > cfg_.box / 2) dx -= cfg_.box;
+    if (dx < -cfg_.box / 2) dx += cfg_.box;
+    if (dy > cfg_.box / 2) dy -= cfg_.box;
+    if (dy < -cfg_.box / 2) dy += cfg_.box;
+    const double r2 = dx * dx + dy * dy;
+    if (r2 >= rc2 || r2 < 1e-12) return;
+    const double inv2 = 1.0 / r2;
+    const double inv6 = inv2 * inv2 * inv2;
+    // LJ: U = 4 (r^-12 - r^-6), F = 24 (2 r^-12 - r^-6) / r * rhat.
+    const double f = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+    fx_[static_cast<std::size_t>(i)] += f * dx;
+    fy_[static_cast<std::size_t>(i)] += f * dy;
+    fx_[static_cast<std::size_t>(j)] -= f * dx;
+    fy_[static_cast<std::size_t>(j)] -= f * dy;
+    cached_pe_ += 4.0 * (inv6 * inv6 - inv6);
+  };
+
+  for (int cy = 0; cy < cells_per_axis_; ++cy) {
+    for (int cx = 0; cx < cells_per_axis_; ++cx) {
+      const auto& cell =
+          cells_[static_cast<std::size_t>(cy) * cells_per_axis_ + cx];
+      // Within the cell.
+      for (std::size_t a = 0; a < cell.size(); ++a)
+        for (std::size_t b = a + 1; b < cell.size(); ++b)
+          interact(cell[a], cell[b]);
+      // Half the neighbour cells (east, north-east, north, north-west) so
+      // each pair is visited once.
+      const int ndx[] = {1, 1, 0, -1};
+      const int ndy[] = {0, 1, 1, 1};
+      for (int k = 0; k < 4; ++k) {
+        const int ox = (cx + ndx[k] + cells_per_axis_) % cells_per_axis_;
+        const int oy = (cy + ndy[k] + cells_per_axis_) % cells_per_axis_;
+        const auto& other =
+            cells_[static_cast<std::size_t>(oy) * cells_per_axis_ + ox];
+        for (int i : cell)
+          for (int j : other) interact(i, j);
+      }
+    }
+  }
+}
+
+void LjFluid::step() {
+  const int n = cfg_.n_particles;
+  const double dt = cfg_.dt;
+  // Velocity Verlet.
+  for (int i = 0; i < n; ++i) {
+    vx_[static_cast<std::size_t>(i)] += 0.5 * dt * fx_[static_cast<std::size_t>(i)];
+    vy_[static_cast<std::size_t>(i)] += 0.5 * dt * fy_[static_cast<std::size_t>(i)];
+    x_[static_cast<std::size_t>(i)] += dt * vx_[static_cast<std::size_t>(i)];
+    y_[static_cast<std::size_t>(i)] += dt * vy_[static_cast<std::size_t>(i)];
+    // Periodic wrap.
+    x_[static_cast<std::size_t>(i)] = std::fmod(x_[static_cast<std::size_t>(i)] + cfg_.box, cfg_.box);
+    y_[static_cast<std::size_t>(i)] = std::fmod(y_[static_cast<std::size_t>(i)] + cfg_.box, cfg_.box);
+  }
+  compute_forces();
+  for (int i = 0; i < n; ++i) {
+    vx_[static_cast<std::size_t>(i)] += 0.5 * dt * fx_[static_cast<std::size_t>(i)];
+    vy_[static_cast<std::size_t>(i)] += 0.5 * dt * fy_[static_cast<std::size_t>(i)];
+  }
+}
+
+double LjFluid::kinetic_energy() const {
+  double ke = 0.0;
+  for (int i = 0; i < cfg_.n_particles; ++i)
+    ke += 0.5 * (vx_[static_cast<std::size_t>(i)] * vx_[static_cast<std::size_t>(i)] +
+                 vy_[static_cast<std::size_t>(i)] * vy_[static_cast<std::size_t>(i)]);
+  return ke;
+}
+
+double LjFluid::potential_energy() const { return cached_pe_; }
+
+double LjFluid::temperature() const {
+  // 2-D equipartition: KE = N kT.
+  return kinetic_energy() / cfg_.n_particles;
+}
+
+void LjFluid::thermostat(double target_t, double strength) {
+  const double t = temperature();
+  if (t <= 0.0) return;
+  const double lambda =
+      std::sqrt(1.0 + strength * (target_t / t - 1.0));
+  for (auto& v : vx_) v *= lambda;
+  for (auto& v : vy_) v *= lambda;
+}
+
+std::vector<double> LjFluid::density_profile(int bins) const {
+  std::vector<double> out(static_cast<std::size_t>(bins), 0.0);
+  const double w = cfg_.box / bins;
+  for (int i = 0; i < cfg_.n_particles; ++i) {
+    int b = static_cast<int>(x_[static_cast<std::size_t>(i)] / w);
+    b = std::clamp(b, 0, bins - 1);
+    out[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const double strip_area = w * cfg_.box;
+  for (double& d : out) d /= strip_area;
+  return out;
+}
+
+MultiscaleMd::MultiscaleMd(std::shared_ptr<meta::Communicator> comm,
+                           LjConfig cfg, int coupling_steps,
+                           int md_steps_per_coupling, double coarse_target_t)
+    : comm_(std::move(comm)), fluid_(cfg), coupling_steps_(coupling_steps),
+      md_per_coupling_(md_steps_per_coupling),
+      coarse_target_t_(coarse_target_t) {}
+
+void MultiscaleMd::start() {
+  started_ = comm_->metacomputer().scheduler().now();
+  e0_ = fluid_.total_energy();
+  coupling_step(0);
+}
+
+void MultiscaleMd::coupling_step(int n) {
+  auto& sched = comm_->metacomputer().scheduler();
+  if (n >= coupling_steps_) {
+    result_.elapsed_s = (sched.now() - started_).sec();
+    result_.final_temperature = fluid_.temperature();
+    const double e1 = fluid_.total_energy();
+    result_.energy_drift = std::abs(e1 - e0_) / std::max(std::abs(e0_), 1e-9);
+    if (coupling_steps_ > 0)
+      result_.mean_exchange_ms = comm_accum_s_ * 1e3 / coupling_steps_;
+    return;
+  }
+  // Fine side (rank 0, Bonn): advance the atomistic region.
+  for (int s = 0; s < md_per_coupling_; ++s) fluid_.step();
+
+  // Exchange: density profile up, thermostat target back.
+  const des::SimTime t0 = sched.now();
+  auto profile = std::make_shared<std::vector<double>>(
+      fluid_.density_profile(16));
+  comm_->recv(0, 1, /*tag=*/1000 + n, [this, n, t0,
+                                       &sched](const meta::Message& msg) {
+    comm_accum_s_ += (sched.now() - t0).sec();
+    const double target = std::any_cast<double>(msg.data);
+    fluid_.thermostat(target, 0.2);
+    ++result_.steps_completed;
+    coupling_step(n + 1);
+  });
+  comm_->recv(1, 0, /*tag=*/n, [this, n](const meta::Message&) {
+    // Coarse side (rank 1, GMD): the continuum model digests the profile
+    // and returns the boundary thermostat target.
+    comm_->send(1, 0, /*tag=*/1000 + n, sizeof(double),
+                std::any{coarse_target_t_});
+  });
+  comm_->send(0, 1, /*tag=*/n, profile->size() * sizeof(double), profile);
+}
+
+}  // namespace gtw::apps

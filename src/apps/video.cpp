@@ -1,0 +1,40 @@
+#include "apps/video.hpp"
+
+namespace gtw::apps {
+
+D1VideoSession::D1VideoSession(net::Host& source, net::Host& sink,
+                               D1VideoConfig cfg, std::uint16_t port_base)
+    : cfg_(cfg), sink_(sink, port_base),
+      source_(source, static_cast<std::uint16_t>(port_base + 1), sink.id(),
+              port_base,
+              net::CbrSource::Config{
+                  cfg.frame_bytes(),
+                  des::SimTime::seconds(1.0 / cfg.fps),
+                  static_cast<std::uint64_t>(cfg.frames)}),
+      sched_(source.scheduler()) {}
+
+void D1VideoSession::start() {
+  started_ = sched_.now();
+  source_.start();
+}
+
+D1VideoReport D1VideoSession::report() const {
+  D1VideoReport rep;
+  rep.frames_sent = source_.frames_sent();
+  rep.frames_received = sink_.frames_received();
+  // Sequence-gap counting (CbrSink::frames_lost) underestimates here: a
+  // frame with any dropped fragment never completes reassembly, so its
+  // sequence number is never seen.  The session knows both ends.
+  rep.frames_lost = rep.frames_sent >= rep.frames_received
+                        ? rep.frames_sent - rep.frames_received
+                        : 0;
+  rep.offered_bps = source_.offered_rate_bps();
+  const des::SimTime span = sched_.now() - started_;
+  rep.goodput_bps = sink_.goodput_bps(span);
+  rep.jitter_ms = sink_.interarrival_ms().stddev();
+  rep.feasible = rep.frames_sent > 0 &&
+                 rep.frames_received * 100 >= rep.frames_sent * 99;
+  return rep;
+}
+
+}  // namespace gtw::apps

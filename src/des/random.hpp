@@ -1,0 +1,42 @@
+// Deterministic PRNG for the simulator: xoshiro256** seeded via SplitMix64.
+// Not std::mt19937 because we want a documented, header-stable algorithm whose
+// streams are identical across standard libraries — reproduction runs must be
+// bit-identical everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gtw::des {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derive an independent child stream (used to give every traffic source
+  // its own stream so adding a source never perturbs another's draws).
+  Rng fork();
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+  // Standard normal via Box-Muller (cached second deviate).
+  double normal();
+  double normal(double mean, double sigma);
+  // Exponential with given mean.
+  double exponential(double mean);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace gtw::des

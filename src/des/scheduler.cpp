@@ -1,0 +1,75 @@
+#include "des/scheduler.hpp"
+
+#include <cassert>
+
+namespace gtw::des {
+
+void EventHandle::cancel() {
+  if (sched_ != nullptr && seq_ != 0) {
+    sched_->cancel(seq_);
+    sched_ = nullptr;
+  }
+}
+
+bool EventHandle::pending() const {
+  return sched_ != nullptr && sched_->is_pending(seq_);
+}
+
+EventHandle Scheduler::schedule_at(SimTime when, Action action) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto* e = new Entry{when, next_seq_++, std::move(action), false};
+  queue_.push(e);
+  ++live_events_;
+  pending_.emplace(e->seq, e);
+  return EventHandle{this, e->seq};
+}
+
+void Scheduler::cancel(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  it->second->cancelled = true;
+  pending_.erase(it);
+  --live_events_;
+}
+
+bool Scheduler::is_pending(std::uint64_t seq) const {
+  return pending_.contains(seq);
+}
+
+bool Scheduler::step(SimTime horizon) {
+  while (!queue_.empty()) {
+    Entry* e = queue_.top();
+    if (e->cancelled) {
+      queue_.pop();
+      delete e;
+      continue;
+    }
+    if (e->when > horizon) return false;
+    queue_.pop();
+    pending_.erase(e->seq);
+    --live_events_;
+    now_ = e->when;
+    ++executed_;
+    Action action = std::move(e->action);
+    delete e;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (step(horizon)) ++n;
+  if (!queue_.empty() && horizon != SimTime::max()) now_ = horizon;
+  return n;
+}
+
+Scheduler::~Scheduler() {
+  while (!queue_.empty()) {
+    delete queue_.top();
+    queue_.pop();
+  }
+}
+
+}  // namespace gtw::des

@@ -1,0 +1,94 @@
+// Deterministic discrete-event scheduler.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), so a simulation run is a pure
+// function of its inputs and seeds — a property the reproduction tests rely
+// on when comparing repeated runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace gtw::des {
+
+class Scheduler;
+
+// Cancellable handle to a scheduled event.  Default-constructed handles are
+// inert; cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel();
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  EventHandle(Scheduler* s, std::uint64_t seq) : sched_(s), seq_(seq) {}
+  Scheduler* sched_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  SimTime now() const { return now_; }
+
+  // Schedule `action` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, Action action);
+  // Schedule `action` `delay` after the current time.
+  EventHandle schedule_after(SimTime delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  // Run until the event queue drains or `horizon` is reached, whichever is
+  // first.  Returns the number of events executed.
+  std::uint64_t run(SimTime horizon = SimTime::max());
+
+  // Execute at most one event; returns false if the queue was empty or the
+  // next event lies beyond `horizon`.
+  bool step(SimTime horizon = SimTime::max());
+
+  bool empty() const { return live_events_ == 0; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  friend class EventHandle;
+
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  void cancel(std::uint64_t seq);
+  bool is_pending(std::uint64_t seq) const;
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t live_events_ = 0;
+  // Entries are heap-allocated; the queue orders raw pointers and pending_
+  // indexes them by sequence number for O(1) cancellation.
+  std::priority_queue<Entry*, std::vector<Entry*>, Order> queue_;
+  std::unordered_map<std::uint64_t, Entry*> pending_;
+};
+
+}  // namespace gtw::des

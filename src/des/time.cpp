@@ -1,0 +1,28 @@
+#include "des/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gtw::des {
+
+std::string SimTime::to_string() const {
+  const double s = sec();
+  char buf[64];
+  if (std::abs(s) >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  } else if (std::abs(s) >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  } else if (std::abs(s) >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", s * 1e9);
+  }
+  return buf;
+}
+
+SimTime transmission_time(std::uint64_t bytes, double bits_per_second) {
+  const double ps = static_cast<double>(bytes) * 8.0 * 1e12 / bits_per_second;
+  return SimTime::picoseconds(static_cast<std::int64_t>(std::ceil(ps)));
+}
+
+}  // namespace gtw::des

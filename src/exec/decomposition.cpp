@@ -1,0 +1,33 @@
+#include "exec/decomposition.hpp"
+
+namespace gtw::exec {
+
+std::vector<Slab> slab_decomposition(int nz, int pes) {
+  std::vector<Slab> out;
+  out.reserve(static_cast<std::size_t>(pes));
+  const int base = nz / pes;
+  const int extra = nz % pes;
+  int z = 0;
+  for (int p = 0; p < pes; ++p) {
+    const int len = base + (p < extra ? 1 : 0);
+    out.push_back(Slab{z, z + len, p});
+    z += len;
+  }
+  return out;
+}
+
+std::vector<VoxelRange> voxel_decomposition(std::size_t voxels, int pes) {
+  std::vector<VoxelRange> out;
+  out.reserve(static_cast<std::size_t>(pes));
+  const std::size_t base = voxels / static_cast<std::size_t>(pes);
+  const std::size_t extra = voxels % static_cast<std::size_t>(pes);
+  std::size_t begin = 0;
+  for (int p = 0; p < pes; ++p) {
+    const std::size_t len = base + (static_cast<std::size_t>(p) < extra ? 1 : 0);
+    out.push_back(VoxelRange{begin, begin + len, p});
+    begin += len;
+  }
+  return out;
+}
+
+}  // namespace gtw::exec

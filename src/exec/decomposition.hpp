@@ -1,0 +1,31 @@
+// Domain decomposition helpers.  FIRE distributes the brain volume over the
+// T3E PEs ("using a domain decomposition of the brain"); the slab variant
+// splits along z (what slice-wise kernels use), the block variant tiles all
+// three axes (what voxel-level kernels use).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gtw::exec {
+
+struct Slab {
+  int z_begin = 0;
+  int z_end = 0;  // exclusive
+  int owner = 0;
+};
+
+// Split `nz` slices over `pes` as evenly as possible (earlier PEs get the
+// remainder).  PEs beyond nz receive empty slabs.
+std::vector<Slab> slab_decomposition(int nz, int pes);
+
+struct VoxelRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  int owner = 0;
+};
+
+// Split a flat voxel index space evenly over `pes`.
+std::vector<VoxelRange> voxel_decomposition(std::size_t voxels, int pes);
+
+}  // namespace gtw::exec

@@ -1,0 +1,92 @@
+#include "exec/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gtw::exec {
+
+MachineProfile MachineProfile::t3e600() {
+  // 512-node Cray T3E-600 in Jülich (300 MHz Alpha 21164).  The effective
+  // per-PE rate is calibrated against Table 1 of the paper (RVO at 1 PE =
+  // 109.27 s for the work estimate of a 64x64x16 image).
+  return MachineProfile{"Cray T3E-600", 512, 46e6,
+                        des::SimTime::microseconds(8), 300e6,
+                        des::SimTime::microseconds(60),
+                        des::SimTime::microseconds(150)};
+}
+
+MachineProfile MachineProfile::t3e1200() {
+  // The 1998 upgrade machine: 600 MHz PEs, faster links.
+  return MachineProfile{"Cray T3E-1200", 512, 92e6,
+                        des::SimTime::microseconds(6), 350e6,
+                        des::SimTime::microseconds(50),
+                        des::SimTime::microseconds(100)};
+}
+
+MachineProfile MachineProfile::t90() {
+  // 10-processor vector machine: few, very fast PEs, flat shared memory.
+  return MachineProfile{"Cray T90", 10, 450e6,
+                        des::SimTime::microseconds(2), 1200e6,
+                        des::SimTime::microseconds(20)};
+}
+
+MachineProfile MachineProfile::sp2() {
+  // IBM SP2 in Sankt Augustin; microchannel I/O limits its network path
+  // (modelled at the Host level), compute per node is P2SC-class.
+  return MachineProfile{"IBM SP2", 64, 60e6,
+                        des::SimTime::microseconds(30), 40e6,
+                        des::SimTime::microseconds(80),
+                        des::SimTime::microseconds(250)};
+}
+
+MachineProfile MachineProfile::onyx2() {
+  // 12-processor SGI Onyx 2 visualization server at the GMD.
+  return MachineProfile{"SGI Onyx 2", 12, 80e6,
+                        des::SimTime::microseconds(3), 600e6,
+                        des::SimTime::microseconds(30)};
+}
+
+MachineProfile MachineProfile::workstation() {
+  // Single-CPU UNIX workstation (the RT-client host).
+  return MachineProfile{"workstation", 1, 55e6,
+                        des::SimTime::microseconds(1), 100e6,
+                        des::SimTime::zero()};
+}
+
+WorkEstimate& WorkEstimate::operator+=(const WorkEstimate& o) {
+  parallel_ops += o.parallel_ops;
+  serial_ops += o.serial_ops;
+  halo_bytes += o.halo_bytes;
+  halo_exchanges += o.halo_exchanges;
+  reductions += o.reductions;
+  return *this;
+}
+
+des::SimTime time_on(const MachineProfile& m, const WorkEstimate& work,
+                     int pes) {
+  pes = std::clamp(pes, 1, m.max_pes);
+  // Effective parallelism is capped by the kernel's decomposition grain.
+  const int eff = work.max_parallelism > 0
+      ? std::min(pes, work.max_parallelism)
+      : pes;
+  const double compute_s =
+      work.parallel_ops / (m.pe_ops_per_s * static_cast<double>(eff)) +
+      work.serial_ops / m.pe_ops_per_s;
+
+  des::SimTime comm = des::SimTime::zero();
+  if (pes > 1) {
+    comm += m.per_pe_overhead * pes;
+    // Halo exchange: latency per message + bytes at link bandwidth.
+    comm += m.msg_latency * work.halo_exchanges;
+    comm += des::transmission_time(work.halo_bytes,
+                                   m.link_bandwidth_Bps * 8.0);
+    // Tree reductions: ceil(log2 P) latency steps each.
+    const int depth =
+        static_cast<int>(std::ceil(std::log2(static_cast<double>(pes))));
+    comm += m.msg_latency * (work.reductions * depth);
+    comm += m.region_overhead;
+  }
+  return des::SimTime::seconds(compute_s) + comm;
+}
+
+}  // namespace gtw::exec

@@ -1,0 +1,42 @@
+#include "fire/correlation.hpp"
+
+#include <cmath>
+
+namespace gtw::fire {
+
+IncrementalCorrelation::IncrementalCorrelation(Dims dims)
+    : dims_(dims), sum_x_(dims.voxels(), 0.0), sum_xx_(dims.voxels(), 0.0),
+      sum_xy_(dims.voxels(), 0.0) {}
+
+void IncrementalCorrelation::add_scan(const VolumeF& image, double ref_t) {
+  ++n_;
+  sum_y_ += ref_t;
+  sum_yy_ += ref_t * ref_t;
+  const std::size_t n = dims_.voxels();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = image[i];
+    sum_x_[i] += x;
+    sum_xx_[i] += x * x;
+    sum_xy_[i] += x * ref_t;
+  }
+}
+
+double IncrementalCorrelation::correlation_at(std::size_t i) const {
+  if (n_ < 2) return 0.0;
+  const double n = n_;
+  const double cov = n * sum_xy_[i] - sum_x_[i] * sum_y_;
+  const double vx = n * sum_xx_[i] - sum_x_[i] * sum_x_[i];
+  const double vy = n * sum_yy_ - sum_y_ * sum_y_;
+  if (vx <= 1e-12 || vy <= 1e-12) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+VolumeF IncrementalCorrelation::correlation_map() const {
+  VolumeF out(dims_);
+  const std::size_t n = dims_.voxels();
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<float>(correlation_at(i));
+  return out;
+}
+
+}  // namespace gtw::fire

@@ -1,0 +1,46 @@
+#include "fire/filters.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace gtw::fire {
+
+VolumeF median_filter_3x3(const VolumeF& in) {
+  const Dims d = in.dims();
+  VolumeF out(d);
+  std::array<float, 9> window;
+  for (int z = 0; z < d.nz; ++z) {
+    for (int y = 0; y < d.ny; ++y) {
+      for (int x = 0; x < d.nx; ++x) {
+        int n = 0;
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx)
+            window[static_cast<std::size_t>(n++)] =
+                in.clamped(x + dx, y + dy, z);
+        std::nth_element(window.begin(), window.begin() + 4, window.end());
+        out.at(x, y, z) = window[4];
+      }
+    }
+  }
+  return out;
+}
+
+VolumeF average_filter_3x3x3(const VolumeF& in) {
+  const Dims d = in.dims();
+  VolumeF out(d);
+  for (int z = 0; z < d.nz; ++z) {
+    for (int y = 0; y < d.ny; ++y) {
+      for (int x = 0; x < d.nx; ++x) {
+        double acc = 0.0;
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx)
+              acc += in.clamped(x + dx, y + dy, z + dz);
+        out.at(x, y, z) = static_cast<float>(acc / 27.0);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gtw::fire

@@ -1,0 +1,25 @@
+// Spatial filters of the FIRE processing pipeline (paper section 4):
+// "a median filter is used to reduce noise in the unprocessed picture.
+// After the processing pipeline, the data can be smoothened by an averaging
+// filter."  Both operate slice-wise / block-wise with edge clamping and
+// expose work estimates for the parallel execution model.
+#pragma once
+
+#include "fire/volume.hpp"
+
+namespace gtw::fire {
+
+// In-plane 3x3 median per slice (robust impulse/noise suppression on the
+// raw EPI images before analysis).
+VolumeF median_filter_3x3(const VolumeF& in);
+
+// 3x3x3 boxcar smoothing (post-pipeline spatial smoothing of maps).
+VolumeF average_filter_3x3x3(const VolumeF& in);
+
+// Work accounting used by exec::time_on — effective operations per voxel,
+// matching the actual implementations above (9-element gather plus partial
+// selection with its branchy comparisons; 27-element gather + accumulate).
+constexpr double kMedianOpsPerVoxel = 66.0;
+constexpr double kAverageOpsPerVoxel = 60.0;
+
+}  // namespace gtw::fire

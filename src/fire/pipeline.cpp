@@ -1,0 +1,207 @@
+#include "fire/pipeline.hpp"
+
+#include <algorithm>
+
+namespace gtw::fire {
+
+FmriPipeline::FmriPipeline(des::Scheduler& sched, Hosts hosts,
+                           PipelineConfig cfg, ImageSource source,
+                           AnalysisEngine* engine)
+    : sched_(sched), hosts_(hosts), cfg_(cfg), source_(std::move(source)),
+      engine_(engine) {
+  records_.resize(static_cast<std::size_t>(cfg_.n_scans));
+  net::TcpConfig tcp;
+  tcp.recv_buffer = 4u << 20;
+  if (cfg_.site == ProcessingSite::kRemoteT3e) {
+    to_compute_ = std::make_unique<net::TcpConnection>(
+        *hosts_.scanner_frontend, *hosts_.compute_frontend, 6000, 6001, tcp);
+    to_client_ = std::make_unique<net::TcpConnection>(
+        *hosts_.compute_frontend, *hosts_.client, 6002, 6003, tcp);
+  } else {
+    to_compute_ = std::make_unique<net::TcpConnection>(
+        *hosts_.scanner_frontend, *hosts_.client, 6000, 6001, tcp);
+  }
+}
+
+des::SimTime FmriPipeline::compute_time(int pes) const {
+  const FireWork w = make_fire_work(cfg_.work);
+  exec::WorkEstimate total;
+  if (cfg_.enable_filter) total += w.filter;
+  if (cfg_.enable_motion) total += w.motion;
+  if (cfg_.enable_rvo) total += w.rvo;
+  if (cfg_.enable_detrend) total += w.detrend;
+  total += w.correlation;
+
+  if (cfg_.site == ProcessingSite::kLocalWorkstation)
+    return exec::time_on(cfg_.workstation, total, 1);
+
+  // Sum per-module so each module's own parallelism cap applies, exactly as
+  // the Table 1 columns do.
+  des::SimTime t = des::SimTime::zero();
+  if (cfg_.enable_filter) t += exec::time_on(cfg_.t3e, w.filter, pes);
+  if (cfg_.enable_motion) t += exec::time_on(cfg_.t3e, w.motion, pes);
+  if (cfg_.enable_rvo) t += exec::time_on(cfg_.t3e, w.rvo, pes);
+  if (cfg_.enable_detrend) t += exec::time_on(cfg_.t3e, w.detrend, pes);
+  t += exec::time_on(cfg_.t3e, w.correlation, pes);
+  return t;
+}
+
+void FmriPipeline::start() {
+  for (int i = 0; i < cfg_.n_scans; ++i) {
+    ScanRecord& rec = records_[static_cast<std::size_t>(i)];
+    rec.index = i;
+    rec.acquired = des::SimTime::seconds(cfg_.tr_s * (i + 1));
+    sched_.schedule_at(rec.acquired + cfg_.scan_to_server,
+                       [this, i]() { on_image_at_server(i); });
+  }
+}
+
+void FmriPipeline::on_image_at_server(int index) {
+  records_[static_cast<std::size_t>(index)].at_server = sched_.now();
+  next_ready_ = std::max(next_ready_, index + 1);
+  maybe_dispatch();
+}
+
+void FmriPipeline::maybe_dispatch() {
+  if (next_dispatch_ >= cfg_.n_scans || next_dispatch_ >= next_ready_) return;
+  if (cfg_.mode == PipelineMode::kSequential) {
+    if (stage_busy_) return;
+    // The RT-client asks for "the next image"; the RT-server answers with
+    // the newest one it holds, so a slow pipeline skips stale scans rather
+    // than building a backlog (FIRE displays the current brain state).
+    if (next_ready_ - 1 > next_dispatch_) {
+      skipped_ += next_ready_ - 1 - next_dispatch_;
+      next_dispatch_ = next_ready_ - 1;
+    }
+    stage_busy_ = true;
+  } else {
+    if (transfer_busy_) return;
+    transfer_busy_ = true;
+  }
+  dispatch(next_dispatch_++);
+}
+
+void FmriPipeline::dispatch(int index) {
+  ScanRecord& rec = records_[static_cast<std::size_t>(index)];
+  rec.sent = sched_.now();
+
+  // Half the RPC handshake budget wraps the forward leg, half the return.
+  const des::SimTime half_rpc =
+      des::SimTime::picoseconds(cfg_.rpc_overhead.ps() / 2);
+
+  sched_.schedule_after(half_rpc, [this, index]() {
+    to_compute_->send(
+        0, cfg_.image_bytes, {},
+        [this, index](const std::any&, des::SimTime) {
+          ScanRecord& rec = records_[static_cast<std::size_t>(index)];
+          rec.at_compute = sched_.now();
+          if (cfg_.mode == PipelineMode::kPipelined) {
+            transfer_busy_ = false;
+            maybe_dispatch();
+          }
+
+          // Run the real numerics, if wired up (timing still from the
+          // execution model — this host's wall clock is irrelevant).
+          if (source_ && engine_ != nullptr)
+            engine_->process_scan(source_(index));
+
+          auto after_compute = [this, index]() {
+            ScanRecord& r2 = records_[static_cast<std::size_t>(index)];
+            r2.processed = sched_.now();
+            const des::SimTime half_rpc2 =
+                des::SimTime::picoseconds(cfg_.rpc_overhead.ps() / 2);
+            auto deliver = [this, index](const std::any&, des::SimTime) {
+              ScanRecord& r3 = records_[static_cast<std::size_t>(index)];
+              r3.at_client = sched_.now();
+              sched_.schedule_after(cfg_.client_display, [this, index]() {
+                records_[static_cast<std::size_t>(index)].displayed =
+                    sched_.now();
+                if (cfg_.mode == PipelineMode::kSequential) {
+                  stage_busy_ = false;
+                  maybe_dispatch();
+                }
+              });
+            };
+            if (to_client_) {
+              sched_.schedule_after(half_rpc2, [this, deliver]() {
+                to_client_->send(0, cfg_.result_bytes, {}, deliver);
+              });
+            } else {
+              // Local mode: results are already on the client.
+              sched_.schedule_after(half_rpc2, [this, deliver]() {
+                deliver({}, sched_.now());
+              });
+            }
+          };
+
+          const des::SimTime ct = compute_time(cfg_.t3e_pes);
+          if (cfg_.mode == PipelineMode::kPipelined) {
+            // Serialise the compute stage on the (single) T3E partition.
+            enqueue_compute(ct, after_compute);
+          } else {
+            sched_.schedule_after(ct, after_compute);
+          }
+        });
+  });
+}
+
+void FmriPipeline::enqueue_compute(des::SimTime duration,
+                                   std::function<void()> done) {
+  compute_queue_.push_back(ComputeJob{duration, std::move(done)});
+  pump_compute();
+}
+
+void FmriPipeline::pump_compute() {
+  if (compute_busy_ || compute_queue_.empty()) return;
+  compute_busy_ = true;
+  ComputeJob job = std::move(compute_queue_.front());
+  compute_queue_.pop_front();
+  sched_.schedule_after(job.duration,
+                        [this, done = std::move(job.done)]() {
+                          compute_busy_ = false;
+                          done();
+                          pump_compute();
+                        });
+}
+
+PipelineResult FmriPipeline::result() const {
+  PipelineResult out;
+  out.records = records_;
+  out.scans_skipped = skipped_;
+  double total = 0.0, transfer = 0.0, compute = 0.0;
+  int n = 0;
+  std::vector<double> display_times;
+  for (const ScanRecord& r : records_) {
+    if (r.displayed == des::SimTime::zero()) continue;  // never finished
+    display_times.push_back(r.displayed.sec());
+    if (r.index == 0) continue;  // warm-up
+    total += (r.displayed - r.acquired).sec();
+    transfer += (r.at_compute - r.sent).sec() +
+                (r.at_client - r.processed).sec();
+    compute += (r.processed - r.at_compute).sec();
+    ++n;
+  }
+  if (n > 0) {
+    out.mean_total_delay_s = total / n;
+    out.mean_transfer_control_s = transfer / n;
+    out.mean_compute_s = compute / n;
+  }
+  if (display_times.size() >= 2) {
+    // Steady-state period: mean gap over the second half of the run.
+    const std::size_t half = display_times.size() / 2;
+    out.sustained_period_s =
+        (display_times.back() - display_times[half]) /
+        static_cast<double>(display_times.size() - 1 - half);
+    // The scanner is safe as long as TR covers the pipeline period net of
+    // the scanner's own cadence contribution.
+    const double busy = out.mean_transfer_control_s + out.mean_compute_s +
+                        0.6;  // display
+    out.min_safe_tr_s = cfg_.mode == PipelineMode::kSequential
+        ? busy
+        : std::max({(records_[0].at_compute - records_[0].sent).sec(),
+                    out.mean_compute_s, 0.6});
+  }
+  return out;
+}
+
+}  // namespace gtw::fire

@@ -1,0 +1,71 @@
+#include "fire/reference.hpp"
+
+#include <cmath>
+
+namespace gtw::fire {
+
+std::vector<double> StimulusDesign::series(int n_scans) const {
+  std::vector<double> out(static_cast<std::size_t>(n_scans));
+  for (int i = 0; i < n_scans; ++i)
+    out[static_cast<std::size_t>(i)] = value(i);
+  return out;
+}
+
+std::vector<double> hrf_kernel(const HrfParams& p, double dt,
+                               double duration_s) {
+  // Gamma density with mean = delay and sd = dispersion:
+  //   shape k = (d/w)^2,  scale theta = w^2 / d.
+  const double d = std::max(p.delay_s, 0.1);
+  const double w = std::max(p.dispersion_s, 0.1);
+  const double k = (d / w) * (d / w);
+  const double theta = (w * w) / d;
+
+  const int n = std::max(1, static_cast<int>(duration_s / dt));
+  std::vector<double> h(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = (i + 0.5) * dt;
+    // Unnormalised gamma density; lgamma keeps large shapes stable.
+    const double log_pdf = (k - 1.0) * std::log(t) - t / theta -
+                           std::lgamma(k) - k * std::log(theta);
+    h[static_cast<std::size_t>(i)] = std::exp(log_pdf);
+    sum += h[static_cast<std::size_t>(i)];
+  }
+  if (sum > 0.0)
+    for (double& x : h) x /= sum;
+  return h;
+}
+
+std::vector<double> make_reference(const StimulusDesign& stim, int n_scans,
+                                   double tr_s, const HrfParams& p) {
+  const std::vector<double> s = stim.series(n_scans);
+  const std::vector<double> h = hrf_kernel(p, tr_s);
+  std::vector<double> r(static_cast<std::size_t>(n_scans), 0.0);
+  for (int i = 0; i < n_scans; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < h.size() && static_cast<int>(j) <= i; ++j)
+      acc += s[static_cast<std::size_t>(i) - j] * h[j];
+    r[static_cast<std::size_t>(i)] = acc;
+  }
+  z_normalise(r);
+  return r;
+}
+
+void z_normalise(std::vector<double>& v) {
+  if (v.empty()) return;
+  const double n = static_cast<double>(v.size());
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= n;
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= n;
+  if (var < 1e-30) {
+    for (double& x : v) x = 0.0;
+    return;
+  }
+  const double inv_sd = 1.0 / std::sqrt(var);
+  for (double& x : v) x = (x - mean) * inv_sd;
+}
+
+}  // namespace gtw::fire

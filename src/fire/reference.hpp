@@ -1,0 +1,51 @@
+// Reference-vector model: the expected BOLD signal time course.
+//
+// The paper: "It is possible to identify brain activity by correlating the
+// measured signal with a so-called reference vector which represents a
+// convolution of the stimulation time course with a hemodynamic response
+// function.  The latter takes into account the delay and dispersion of the
+// blood flow in response to neuronal activation."
+//
+// We parameterise the HRF as a gamma-shaped impulse response with mean
+// (delay) `d` seconds and standard deviation (dispersion) `w` seconds —
+// exactly the two parameters the paper's RVO module fits per voxel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gtw::fire {
+
+// Periodic block-design stimulation: `on` scans active, `off` scans rest,
+// starting with rest.  Sampled at the scan repetition time.
+struct StimulusDesign {
+  int off_scans = 10;
+  int on_scans = 10;
+  double value(int scan) const {
+    const int period = off_scans + on_scans;
+    const int phase = scan % period;
+    return phase >= off_scans ? 1.0 : 0.0;
+  }
+  std::vector<double> series(int n_scans) const;
+};
+
+struct HrfParams {
+  double delay_s = 6.0;       // time to peak of the response
+  double dispersion_s = 2.0;  // width of the response
+};
+
+// Gamma-shaped HRF sampled at `dt` seconds, truncated at `duration_s`
+// (normalised to unit sum so convolution preserves amplitude).
+std::vector<double> hrf_kernel(const HrfParams& p, double dt,
+                               double duration_s = 30.0);
+
+// Reference vector: stimulus (x) HRF, then z-normalised (zero mean, unit
+// variance) so correlation coefficients are directly comparable.
+std::vector<double> make_reference(const StimulusDesign& stim, int n_scans,
+                                   double tr_s, const HrfParams& p);
+
+// Z-normalise in place; series with (numerically) zero variance become all
+// zeros.
+void z_normalise(std::vector<double>& v);
+
+}  // namespace gtw::fire

@@ -1,0 +1,62 @@
+#include "fire/rigid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gtw::fire {
+
+void RigidTransform::apply(double cx, double cy, double cz, double x,
+                           double y, double z, double& ox, double& oy,
+                           double& oz) const {
+  // Centre-relative coordinates.
+  double px = x - cx, py = y - cy, pz = z - cz;
+  // Rotate about x.
+  {
+    const double c = std::cos(rx), s = std::sin(rx);
+    const double ny = c * py - s * pz, nz = s * py + c * pz;
+    py = ny;
+    pz = nz;
+  }
+  // Rotate about y.
+  {
+    const double c = std::cos(ry), s = std::sin(ry);
+    const double nx = c * px + s * pz, nz = -s * px + c * pz;
+    px = nx;
+    pz = nz;
+  }
+  // Rotate about z.
+  {
+    const double c = std::cos(rz), s = std::sin(rz);
+    const double nx = c * px - s * py, ny = s * px + c * py;
+    px = nx;
+    py = ny;
+  }
+  ox = px + cx + tx;
+  oy = py + cy + ty;
+  oz = pz + cz + tz;
+}
+
+double RigidTransform::max_abs() const {
+  return std::max({std::abs(tx), std::abs(ty), std::abs(tz), std::abs(rx),
+                   std::abs(ry), std::abs(rz)});
+}
+
+VolumeF resample(const VolumeF& src, const RigidTransform& t) {
+  const Dims d = src.dims();
+  VolumeF out(d);
+  const double cx = (d.nx - 1) / 2.0;
+  const double cy = (d.ny - 1) / 2.0;
+  const double cz = (d.nz - 1) / 2.0;
+  for (int z = 0; z < d.nz; ++z) {
+    for (int y = 0; y < d.ny; ++y) {
+      for (int x = 0; x < d.nx; ++x) {
+        double sx, sy, sz;
+        t.apply(cx, cy, cz, x, y, z, sx, sy, sz);
+        out.at(x, y, z) = static_cast<float>(src.sample(sx, sy, sz));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gtw::fire

@@ -1,0 +1,141 @@
+#include "fire/rvo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gtw::fire {
+
+RvoAnalyzer::RvoAnalyzer(Dims dims, StimulusDesign stim, double tr_s,
+                         RvoConfig cfg)
+    : dims_(dims), stim_(stim), tr_s_(tr_s), cfg_(cfg) {}
+
+std::vector<double> RvoAnalyzer::reference_for(double delay, double dispersion,
+                                               int n_scans) const {
+  return make_reference(stim_, n_scans, tr_s_,
+                        HrfParams{delay, dispersion});
+}
+
+double RvoAnalyzer::correlate(const std::vector<double>& x,
+                              const std::vector<double>& ref) {
+  // ref is z-normalised: corr = (1/n) sum (x - mx)/sx * ref.
+  const std::size_t n = x.size();
+  double mx = 0.0;
+  for (double v : x) mx += v;
+  mx /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - mx;
+    sxx += d * d;
+    sxy += d * ref[i];
+  }
+  if (sxx <= 1e-12) return 0.0;
+  return sxy / std::sqrt(sxx * static_cast<double>(n));
+}
+
+RvoResult RvoAnalyzer::analyze(const std::vector<VolumeF>& series) const {
+  RvoResult out;
+  out.correlation_map = VolumeF(dims_);
+  out.delay_map = VolumeF(dims_);
+  const std::size_t voxels = dims_.voxels();
+  out.fits.resize(voxels);
+  if (series.empty()) return out;
+  const int n_scans = static_cast<int>(series.size());
+
+  // Mean intensity threshold to skip air voxels (same masking FIRE uses).
+  double grand_mean = 0.0;
+  for (std::size_t i = 0; i < voxels; ++i)
+    grand_mean += series.back()[i];
+  grand_mean /= static_cast<double>(voxels);
+  const double mask = grand_mean * cfg_.min_intensity_fraction;
+
+  // Precompute candidate references.
+  auto build_grid = [&](int dsteps, int wsteps) {
+    std::vector<Candidate> grid;
+    grid.reserve(static_cast<std::size_t>(dsteps) * wsteps);
+    for (int a = 0; a < dsteps; ++a) {
+      const double delay =
+          cfg_.delay_min_s + (cfg_.delay_max_s - cfg_.delay_min_s) *
+                                 (dsteps > 1 ? static_cast<double>(a) / (dsteps - 1) : 0.5);
+      for (int b = 0; b < wsteps; ++b) {
+        const double disp =
+            cfg_.disp_min_s + (cfg_.disp_max_s - cfg_.disp_min_s) *
+                                  (wsteps > 1 ? static_cast<double>(b) / (wsteps - 1) : 0.5);
+        grid.push_back(Candidate{delay, disp,
+                                 reference_for(delay, disp, n_scans)});
+      }
+    }
+    return grid;
+  };
+
+  const bool coarse = cfg_.mode == RvoMode::kCoarseRefine;
+  const int dsteps = coarse
+      ? std::max(2, cfg_.delay_steps / cfg_.coarse_factor)
+      : cfg_.delay_steps;
+  const int wsteps = coarse
+      ? std::max(2, cfg_.disp_steps / cfg_.coarse_factor)
+      : cfg_.disp_steps;
+  const std::vector<Candidate> grid = build_grid(dsteps, wsteps);
+
+  const double d_range = cfg_.delay_max_s - cfg_.delay_min_s;
+  const double w_range = cfg_.disp_max_s - cfg_.disp_min_s;
+  const double d_step0 = d_range / std::max(1, dsteps - 1);
+  const double w_step0 = w_range / std::max(1, wsteps - 1);
+
+  std::vector<double> voxel_series(static_cast<std::size_t>(n_scans));
+  for (std::size_t v = 0; v < voxels; ++v) {
+    if (series.back()[v] < mask) continue;
+    for (int t = 0; t < n_scans; ++t)
+      voxel_series[static_cast<std::size_t>(t)] =
+          series[static_cast<std::size_t>(t)][v];
+
+    RvoVoxelFit best;
+    best.best_correlation = -2.0f;
+    for (const Candidate& c : grid) {
+      const double r = correlate(voxel_series, c.reference);
+      ++out.reference_evaluations;
+      if (r > best.best_correlation) {
+        best.best_correlation = static_cast<float>(r);
+        best.delay_s = static_cast<float>(c.delay);
+        best.dispersion_s = static_cast<float>(c.dispersion);
+      }
+    }
+
+    if (coarse) {
+      // Local pattern-search refinement around the coarse winner, shrinking
+      // the step each iteration (the paper's planned grid-reduce + iterative
+      // refine optimisation).
+      double step_d = d_step0 / 2.0, step_w = w_step0 / 2.0;
+      for (int it = 0; it < cfg_.refine_iterations; ++it) {
+        bool improved = false;
+        for (const auto& [dd, dw] :
+             {std::pair{step_d, 0.0}, std::pair{-step_d, 0.0},
+              std::pair{0.0, step_w}, std::pair{0.0, -step_w}}) {
+          const double nd = std::clamp(best.delay_s + dd, cfg_.delay_min_s,
+                                       cfg_.delay_max_s);
+          const double nw = std::clamp(best.dispersion_s + dw,
+                                       cfg_.disp_min_s, cfg_.disp_max_s);
+          const std::vector<double> ref = reference_for(nd, nw, n_scans);
+          const double r = correlate(voxel_series, ref);
+          ++out.reference_evaluations;
+          if (r > best.best_correlation) {
+            best.best_correlation = static_cast<float>(r);
+            best.delay_s = static_cast<float>(nd);
+            best.dispersion_s = static_cast<float>(nw);
+            improved = true;
+          }
+        }
+        if (!improved) {
+          step_d /= 2.0;
+          step_w /= 2.0;
+        }
+      }
+    }
+
+    out.fits[v] = best;
+    out.correlation_map[v] = best.best_correlation;
+    out.delay_map[v] = best.delay_s;
+  }
+  return out;
+}
+
+}  // namespace gtw::fire

@@ -1,0 +1,48 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+namespace gtw::linalg {
+
+CgResult conjugate_gradient(
+    const std::function<void(const Vector&, Vector&)>& apply, const Vector& b,
+    int max_iterations, double rel_tol, const Vector* x0) {
+  const std::size_t n = b.size();
+  CgResult out;
+  out.x = x0 != nullptr ? *x0 : Vector(n, 0.0);
+
+  Vector r(n), p(n), ap(n);
+  apply(out.x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  p = r;
+
+  const double bnorm = std::max(norm2(b), 1e-300);
+  double rr = dot(r, r);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    out.residual = std::sqrt(rr) / bnorm;
+    if (out.residual < rel_tol) {
+      out.converged = true;
+      out.iterations = it;
+      return out;
+    }
+    apply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // operator not SPD (or p == 0)
+    const double alpha = rr / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    out.iterations = it + 1;
+  }
+  out.residual = std::sqrt(rr) / bnorm;
+  out.converged = out.residual < rel_tol;
+  return out;
+}
+
+}  // namespace gtw::linalg

@@ -1,0 +1,24 @@
+// Matrix-free conjugate gradient.  The groundwater flow solver (TRACE
+// substitute) uses it with a 7-point stencil operator; FIRE's extended RVO
+// refinement uses the small dense form.
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace gtw::linalg {
+
+struct CgResult {
+  Vector x;
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+// Solve A x = b where `apply` computes y = A x for an SPD operator A.
+CgResult conjugate_gradient(
+    const std::function<void(const Vector&, Vector&)>& apply, const Vector& b,
+    int max_iterations, double rel_tol, const Vector* x0 = nullptr);
+
+}  // namespace gtw::linalg

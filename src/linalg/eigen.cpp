@@ -1,0 +1,75 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gtw::linalg {
+
+EigenResult eigen_symmetric(const Matrix& m_in, int max_sweeps, double tol) {
+  const std::size_t n = m_in.rows();
+  if (m_in.cols() != n) throw std::runtime_error("eigen_symmetric: not square");
+
+  Matrix a = m_in;
+  Matrix v = Matrix::identity(n);
+
+  auto offdiag = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(s);
+  };
+
+  const double scale = std::max(a.norm(), 1e-300);
+  int sweep = 0;
+  for (; sweep < max_sweeps && offdiag() > tol * scale; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) <= 1e-300) continue;
+        // Jacobi rotation annihilating a(p,q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (offdiag() > tol * scale * 100.0)
+    throw std::runtime_error("eigen_symmetric: no convergence");
+
+  // Sort descending by eigenvalue.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = a(idx[c], idx[c]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, idx[c]);
+  }
+  out.sweeps = sweep;
+  return out;
+}
+
+}  // namespace gtw::linalg

@@ -1,0 +1,21 @@
+// Cyclic Jacobi eigensolver for real symmetric matrices.  Used by the MEG
+// MUSIC application to decompose sensor covariance matrices (the paper's
+// pmusic code does exactly this on the T3E/T90 metacomputer).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gtw::linalg {
+
+struct EigenResult {
+  Vector values;       // descending order
+  Matrix vectors;      // column i is the eigenvector for values[i]
+  int sweeps = 0;      // Jacobi sweeps executed
+};
+
+// Decompose symmetric `m`.  Throws std::runtime_error if `m` is not square
+// or the iteration fails to converge within `max_sweeps`.
+EigenResult eigen_symmetric(const Matrix& m, int max_sweeps = 64,
+                            double tol = 1e-12);
+
+}  // namespace gtw::linalg

@@ -1,0 +1,71 @@
+#include "linalg/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtw::linalg {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_power_of_two(n))
+    throw std::invalid_argument("fft: length must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& x : a) x /= static_cast<double>(n);
+  }
+}
+
+void fft2d(std::vector<Complex>& data, int nx, int ny, bool inverse) {
+  if (data.size() != static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny))
+    throw std::invalid_argument("fft2d: size mismatch");
+  // Rows.
+  std::vector<Complex> row(static_cast<std::size_t>(nx));
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x)
+      row[static_cast<std::size_t>(x)] =
+          data[static_cast<std::size_t>(y) * nx + x];
+    fft(row, inverse);
+    for (int x = 0; x < nx; ++x)
+      data[static_cast<std::size_t>(y) * nx + x] =
+          row[static_cast<std::size_t>(x)];
+  }
+  // Columns.
+  std::vector<Complex> col(static_cast<std::size_t>(ny));
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y)
+      col[static_cast<std::size_t>(y)] =
+          data[static_cast<std::size_t>(y) * nx + x];
+    fft(col, inverse);
+    for (int y = 0; y < ny; ++y)
+      data[static_cast<std::size_t>(y) * nx + x] =
+          col[static_cast<std::size_t>(y)];
+  }
+}
+
+}  // namespace gtw::linalg

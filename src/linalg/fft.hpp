@@ -1,0 +1,24 @@
+// Radix-2 FFT (iterative Cooley-Tukey) and 2-D helpers.  Used by the
+// scanner module: an EPI acquisition samples k-space, and the scanner's
+// control workstation reconstructs the image by inverse Fourier transform
+// before handing it to FIRE's RT-server — part of the ~1.5 s the paper
+// budgets between scan and server.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace gtw::linalg {
+
+using Complex = std::complex<double>;
+
+// In-place FFT of a power-of-two-length vector; `inverse` applies the 1/N
+// scaling.  Throws std::invalid_argument for non-power-of-two sizes.
+void fft(std::vector<Complex>& data, bool inverse);
+
+// Row-major 2-D transform of an ny x nx grid (both powers of two).
+void fft2d(std::vector<Complex>& data, int nx, int ny, bool inverse);
+
+bool is_power_of_two(std::size_t n);
+
+}  // namespace gtw::linalg

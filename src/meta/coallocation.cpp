@@ -1,0 +1,92 @@
+#include "meta/coallocation.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace gtw::meta {
+
+int CoallocationBroker::reserved_at(int machine, des::SimTime at) const {
+  int used = 0;
+  for (const auto& [id, r] : booked_) {
+    if (at < r.start || at >= r.end) continue;
+    for (const ResourcePart& p : r.parts)
+      if (p.machine == machine) used += p.pes;
+  }
+  return used;
+}
+
+int CoallocationBroker::available(int machine, des::SimTime at) const {
+  return mc_->machine(machine).max_pes - reserved_at(machine, at);
+}
+
+bool CoallocationBroker::fits(const std::vector<ResourcePart>& parts,
+                              des::SimTime start, des::SimTime end) const {
+  // Capacity is piecewise constant between reservation boundaries; it is
+  // enough to check the start of the window and every boundary within it.
+  std::set<std::int64_t> checkpoints{start.ps()};
+  for (const auto& [id, r] : booked_) {
+    if (r.start > start && r.start < end) checkpoints.insert(r.start.ps());
+    if (r.end > start && r.end < end) checkpoints.insert(r.end.ps());
+  }
+  for (std::int64_t t : checkpoints) {
+    for (const ResourcePart& p : parts) {
+      if (available(p.machine, des::SimTime::picoseconds(t)) < p.pes)
+        return false;
+    }
+  }
+  return true;
+}
+
+Reservation CoallocationBroker::reserve(const std::vector<ResourcePart>& parts,
+                                        des::SimTime duration,
+                                        des::SimTime earliest_start) {
+  for (const ResourcePart& p : parts) {
+    if (p.pes <= 0 || p.pes > mc_->machine(p.machine).max_pes)
+      throw std::invalid_argument("reserve: part exceeds machine capacity");
+  }
+  // Candidate starts: the requested time plus every existing reservation
+  // end after it (capacity can only increase at those instants).
+  std::set<std::int64_t> candidates{earliest_start.ps()};
+  for (const auto& [id, r] : booked_)
+    if (r.end > earliest_start) candidates.insert(r.end.ps());
+
+  for (std::int64_t c : candidates) {
+    const des::SimTime start = des::SimTime::picoseconds(c);
+    if (fits(parts, start, start + duration)) {
+      Reservation res;
+      res.id = next_id_++;
+      res.start = start;
+      res.end = start + duration;
+      res.parts = parts;
+      booked_[res.id] = res;
+      return res;
+    }
+  }
+  // Unreachable: the end of the last reservation always fits (capacity is
+  // then fully free), and it is among the candidates.
+  throw std::logic_error("reserve: no feasible start found");
+}
+
+void CoallocationBroker::release(int reservation_id) {
+  booked_.erase(reservation_id);
+}
+
+double CoallocationBroker::utilisation(int machine, des::SimTime from,
+                                       des::SimTime to) const {
+  const double span = (to - from).sec();
+  if (span <= 0.0) return 0.0;
+  double pe_seconds = 0.0;
+  for (const auto& [id, r] : booked_) {
+    const des::SimTime a = std::max(r.start, from);
+    const des::SimTime b = std::min(r.end, to);
+    if (b <= a) continue;
+    for (const ResourcePart& p : r.parts)
+      if (p.machine == machine)
+        pe_seconds += static_cast<double>(p.pes) * (b - a).sec();
+  }
+  return pe_seconds / (static_cast<double>(mc_->machine(machine).max_pes) *
+                       span);
+}
+
+}  // namespace gtw::meta

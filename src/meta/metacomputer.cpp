@@ -1,0 +1,70 @@
+#include "meta/metacomputer.hpp"
+
+#include <stdexcept>
+
+namespace gtw::meta {
+
+int Metacomputer::add_machine(MachineSpec spec) {
+  machines_.push_back(std::move(spec));
+  pe_cursor_.push_back(0);
+  return static_cast<int>(machines_.size()) - 1;
+}
+
+int Metacomputer::allocate_pes(int machine, int n) {
+  int& cursor = pe_cursor_.at(static_cast<std::size_t>(machine));
+  const MachineSpec& spec = machines_.at(static_cast<std::size_t>(machine));
+  if (cursor + n > spec.max_pes)
+    throw std::runtime_error("allocate_pes: machine " + spec.name +
+                             " exhausted");
+  const int base = cursor;
+  cursor += n;
+  return base;
+}
+
+void Metacomputer::link_machines(int ma, int mb, net::TcpConfig cfg,
+                                 std::uint16_t port_base) {
+  if (ma == mb) throw std::invalid_argument("link_machines: same machine");
+  const auto key = std::minmax(ma, mb);
+  MachineSpec& lo = machines_.at(static_cast<std::size_t>(key.first));
+  MachineSpec& hi = machines_.at(static_cast<std::size_t>(key.second));
+  if (lo.frontend == nullptr || hi.frontend == nullptr)
+    throw std::runtime_error("link_machines: machine has no front-end host");
+  WanLink link;
+  link.conn = std::make_unique<net::TcpConnection>(
+      *lo.frontend, *hi.frontend, port_base,
+      static_cast<std::uint16_t>(port_base + 1), cfg);
+  link.side_of_lo = 0;
+  wan_[{key.first, key.second}] = std::move(link);
+}
+
+bool Metacomputer::linked(int ma, int mb) const {
+  const auto key = std::minmax(ma, mb);
+  return wan_.contains({key.first, key.second});
+}
+
+void Metacomputer::wan_send(int from_machine, int to_machine,
+                            std::uint64_t bytes,
+                            std::function<void()> on_delivered) {
+  const auto key = std::minmax(from_machine, to_machine);
+  auto it = wan_.find({key.first, key.second});
+  if (it == wan_.end())
+    throw std::runtime_error("wan_send: machines not linked");
+  const int side = from_machine == key.first ? it->second.side_of_lo
+                                             : 1 - it->second.side_of_lo;
+  ++wan_messages_;
+  wan_bytes_ += bytes + kMetaHeaderBytes;
+  it->second.conn->send(
+      side, bytes + kMetaHeaderBytes, {},
+      [cb = std::move(on_delivered)](const std::any&, des::SimTime) {
+        if (cb) cb();
+      });
+}
+
+des::SimTime Metacomputer::intra_cost(int machine_id,
+                                      std::uint64_t bytes) const {
+  const MachineSpec& m = machines_.at(static_cast<std::size_t>(machine_id));
+  return m.intra_latency +
+         des::transmission_time(bytes, m.intra_bandwidth_bps);
+}
+
+}  // namespace gtw::meta

@@ -1,0 +1,66 @@
+#include "meta/ports.hpp"
+
+namespace gtw::meta {
+
+void PortRegistry::accept(const std::string& name,
+                          std::shared_ptr<Communicator> local,
+                          ConnectCallback cb) {
+  if (auto it = connects_.find(name); it != connects_.end()) {
+    Pending connector = std::move(it->second);
+    connects_.erase(it);
+    rendezvous(name, Pending{std::move(local), std::move(cb)},
+               std::move(connector));
+    return;
+  }
+  accepts_[name] = Pending{std::move(local), std::move(cb)};
+}
+
+void PortRegistry::connect(const std::string& name,
+                           std::shared_ptr<Communicator> local,
+                           ConnectCallback cb) {
+  if (auto it = accepts_.find(name); it != accepts_.end()) {
+    Pending acceptor = std::move(it->second);
+    accepts_.erase(it);
+    rendezvous(name, std::move(acceptor),
+               Pending{std::move(local), std::move(cb)});
+    return;
+  }
+  connects_[name] = Pending{std::move(local), std::move(cb)};
+}
+
+void PortRegistry::rendezvous(const std::string&, Pending acceptor,
+                              Pending connector) {
+  // Merge: acceptor group first, connector group second.
+  std::vector<ProcLoc> merged;
+  for (int r = 0; r < acceptor.comm->size(); ++r)
+    merged.push_back(acceptor.comm->location(r));
+  for (int r = 0; r < connector.comm->size(); ++r)
+    merged.push_back(connector.comm->location(r));
+  auto comm = std::make_shared<Communicator>(acceptor.comm->metacomputer(),
+                                             std::move(merged));
+
+  const int a_size = acceptor.comm->size();
+  const int c_size = connector.comm->size();
+  Intercomm for_acceptor{comm, 0, a_size, a_size, c_size};
+  Intercomm for_connector{comm, a_size, c_size, 0, a_size};
+
+  // Establishment costs one control round trip between the lead machines.
+  Metacomputer& mc = comm->metacomputer();
+  const int ma = acceptor.comm->location(0).machine;
+  const int mb = connector.comm->location(0).machine;
+  auto finish = [acb = std::move(acceptor.cb), ccb = std::move(connector.cb),
+                 for_acceptor, for_connector]() {
+    acb(for_acceptor);
+    ccb(for_connector);
+  };
+  if (ma == mb || !mc.linked(ma, mb)) {
+    mc.scheduler().schedule_after(mc.intra_cost(ma, kMetaHeaderBytes),
+                                  std::move(finish));
+    return;
+  }
+  mc.wan_send(mb, ma, kMetaHeaderBytes, [&mc, ma, mb, finish]() {
+    mc.wan_send(ma, mb, kMetaHeaderBytes, finish);
+  });
+}
+
+}  // namespace gtw::meta

@@ -1,0 +1,30 @@
+#include "net/cpu.hpp"
+
+namespace gtw::net {
+
+void CpuResource::execute(des::SimTime cost, std::function<void()> done) {
+  queue_.push_back(Job{cost, std::move(done)});
+  maybe_start();
+}
+
+void CpuResource::maybe_start() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_accum_ += job.cost;
+  sched_.schedule_after(job.cost, [this, done = std::move(job.done)]() {
+    busy_ = false;
+    ++jobs_;
+    done();
+    maybe_start();
+  });
+}
+
+double CpuResource::utilization() const {
+  const des::SimTime span = sched_.now() - created_at_;
+  if (span <= des::SimTime::zero()) return 0.0;
+  return busy_accum_.sec() / span.sec();
+}
+
+}  // namespace gtw::net

@@ -1,0 +1,47 @@
+// Serialized host-CPU model.  Protocol processing on 1999-era machines is a
+// first-order bottleneck — the paper attributes the 260 Mbit/s T3E<->SP2
+// ceiling to the microchannel I/O of the SP2 nodes, and the MTU sensitivity
+// of HiPPI TCP to per-packet overhead.  Each packet charges a fixed cost
+// plus a per-byte cost against a single FIFO processor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "des/scheduler.hpp"
+
+namespace gtw::net {
+
+class CpuResource {
+ public:
+  CpuResource(des::Scheduler& sched, std::string name)
+      : sched_(sched), name_(std::move(name)), created_at_(sched.now()) {}
+
+  // Run `done` after `cost` of exclusive CPU time, queued FIFO behind any
+  // work already accepted.
+  void execute(des::SimTime cost, std::function<void()> done);
+
+  double utilization() const;
+  std::uint64_t jobs_completed() const { return jobs_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void maybe_start();
+
+  struct Job {
+    des::SimTime cost;
+    std::function<void()> done;
+  };
+
+  des::Scheduler& sched_;
+  std::string name_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  std::uint64_t jobs_ = 0;
+  des::SimTime busy_accum_ = des::SimTime::zero();
+  des::SimTime created_at_;
+};
+
+}  // namespace gtw::net

@@ -1,0 +1,79 @@
+#include "net/datagram.hpp"
+
+namespace gtw::net {
+
+DatagramSocket::DatagramSocket(Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  host_.bind(IpProto::kUdp, port_, [this](const IpPacket& pkt) {
+    if (handler_) handler_(pkt);
+  });
+}
+
+DatagramSocket::~DatagramSocket() { host_.unbind(IpProto::kUdp, port_); }
+
+void DatagramSocket::send_to(HostId dst, std::uint16_t dst_port,
+                             std::uint32_t payload_bytes, std::any body) {
+  IpPacket pkt;
+  pkt.dst = dst;
+  pkt.proto = IpProto::kUdp;
+  pkt.src_port = port_;
+  pkt.dst_port = dst_port;
+  pkt.total_bytes = payload_bytes + kIpHeaderBytes + kUdpHeaderBytes;
+  if (body.has_value())
+    pkt.payload = std::make_shared<const std::any>(std::move(body));
+  host_.send_datagram(std::move(pkt));
+}
+
+CbrSource::CbrSource(Host& host, std::uint16_t src_port, HostId dst,
+                     std::uint16_t dst_port, Config cfg)
+    : socket_(host, src_port), dst_(dst), dst_port_(dst_port), cfg_(cfg) {}
+
+void CbrSource::start() {
+  timer_ = socket_.host().scheduler().schedule_after(des::SimTime::zero(),
+                                                     [this]() { tick(); });
+}
+
+void CbrSource::stop() { timer_.cancel(); }
+
+void CbrSource::tick() {
+  socket_.send_to(dst_, dst_port_, cfg_.frame_bytes,
+                  std::any{static_cast<std::int64_t>(sent_)});
+  ++sent_;
+  if (cfg_.frame_count != 0 && sent_ >= cfg_.frame_count) return;
+  timer_ = socket_.host().scheduler().schedule_after(cfg_.interval,
+                                                     [this]() { tick(); });
+}
+
+double CbrSource::offered_rate_bps() const {
+  if (cfg_.interval <= des::SimTime::zero()) return 0.0;
+  return static_cast<double>(cfg_.frame_bytes) * 8.0 / cfg_.interval.sec();
+}
+
+CbrSink::CbrSink(Host& host, std::uint16_t port) : socket_(host, port) {
+  socket_.on_receive([this](const IpPacket& pkt) {
+    const des::SimTime now = socket_.host().scheduler().now();
+    if (any_) interarrival_.add((now - last_arrival_).ms());
+    if (!any_) first_arrival_ = now;
+    any_ = true;
+    last_arrival_ = now;
+    ++received_;
+    bytes_ += pkt.total_bytes - kIpHeaderBytes - kUdpHeaderBytes;
+    if (pkt.payload) {
+      if (const auto* seq = std::any_cast<std::int64_t>(pkt.payload.get()))
+        highest_seq_ = std::max(highest_seq_, *seq);
+    }
+  });
+}
+
+std::uint64_t CbrSink::frames_lost() const {
+  if (highest_seq_ < 0) return 0;
+  const std::uint64_t expected = static_cast<std::uint64_t>(highest_seq_) + 1;
+  return expected > received_ ? expected - received_ : 0;
+}
+
+double CbrSink::goodput_bps(des::SimTime window) const {
+  if (window <= des::SimTime::zero()) return 0.0;
+  return static_cast<double>(bytes_) * 8.0 / window.sec();
+}
+
+}  // namespace gtw::net

@@ -1,0 +1,94 @@
+// Unreliable datagram service (UDP semantics) plus a constant-bit-rate
+// source/sink pair.  The CBR pair models the testbed's multimedia project:
+// an uncompressed D1 studio video stream is 270 Mbit/s of fixed-cadence
+// frames over ATM (paper, section 3).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "des/scheduler.hpp"
+#include "des/stats.hpp"
+#include "net/host.hpp"
+#include "net/units.hpp"
+
+namespace gtw::net {
+
+// Thin convenience wrapper over Host::bind/send_datagram.
+class DatagramSocket {
+ public:
+  using Handler = std::function<void(const IpPacket&)>;
+
+  DatagramSocket(Host& host, std::uint16_t port);
+  ~DatagramSocket();
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+
+  void on_receive(Handler h) { handler_ = std::move(h); }
+  // Send `payload_bytes` of application data (plus UDP/IP headers) to the
+  // peer, optionally carrying an opaque body.
+  void send_to(HostId dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
+               std::any body = {});
+
+  Host& host() { return host_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  Host& host_;
+  std::uint16_t port_;
+  Handler handler_;
+};
+
+// Periodic fixed-size datagram source.
+class CbrSource {
+ public:
+  struct Config {
+    std::uint32_t frame_bytes = 0;     // application bytes per frame
+    des::SimTime interval;             // frame cadence
+    std::uint64_t frame_count = 0;     // 0 = unbounded
+  };
+
+  CbrSource(Host& host, std::uint16_t src_port, HostId dst,
+            std::uint16_t dst_port, Config cfg);
+  void start();
+  void stop();
+  std::uint64_t frames_sent() const { return sent_; }
+  double offered_rate_bps() const;
+
+ private:
+  void tick();
+
+  DatagramSocket socket_;
+  HostId dst_;
+  std::uint16_t dst_port_;
+  Config cfg_;
+  std::uint64_t sent_ = 0;
+  des::EventHandle timer_;
+};
+
+// Receiving side: counts frames, measures inter-arrival jitter and loss
+// (frames are numbered by the source via the datagram body).
+class CbrSink {
+ public:
+  CbrSink(Host& host, std::uint16_t port);
+
+  std::uint64_t frames_received() const { return received_; }
+  std::uint64_t frames_lost() const;
+  std::uint64_t bytes_received() const { return bytes_; }
+  double goodput_bps(des::SimTime window) const;
+  const des::RunningStats& interarrival_ms() const { return interarrival_; }
+
+ private:
+  DatagramSocket socket_;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::int64_t highest_seq_ = -1;
+  des::SimTime first_arrival_;
+  des::SimTime last_arrival_;
+  bool any_ = false;
+  des::RunningStats interarrival_;
+};
+
+}  // namespace gtw::net

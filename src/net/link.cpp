@@ -1,0 +1,74 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace gtw::net {
+
+Link::Link(des::Scheduler& sched, std::string name, Config cfg)
+    : sched_(sched), name_(std::move(name)), cfg_(cfg),
+      created_at_(sched.now()) {
+  assert(cfg_.rate_bps > 0.0);
+}
+
+bool Link::submit(Frame f) {
+  if (queued_bytes_ + f.wire_bytes > cfg_.queue_limit_bytes) {
+    ++drops_;
+    dropped_bytes_ += f.wire_bytes;
+    return false;
+  }
+  queued_bytes_ += f.wire_bytes;
+  queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+  queue_.push_back(std::move(f));
+  maybe_start();
+  return true;
+}
+
+void Link::maybe_start() {
+  if (transmitting_ || queue_.empty()) return;
+  transmitting_ = true;
+  Frame f = std::move(queue_.front());
+  queue_.pop_front();
+
+  const des::SimTime tx =
+      des::transmission_time(f.wire_bytes, cfg_.rate_bps) +
+      cfg_.per_frame_overhead;
+  busy_accum_ += tx;
+  sched_.schedule_after(tx, [this, f = std::move(f)]() mutable {
+    transmitting_ = false;
+    ++frames_sent_;
+    bytes_sent_ += f.wire_bytes;
+    queued_bytes_ -= f.wire_bytes;
+    queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+    if (cfg_.bit_error_rate > 0.0) {
+      // P(frame corrupted) = 1 - (1-BER)^bits; the AAL5 CRC discards it.
+      const double bits = static_cast<double>(f.wire_bytes) * 8.0;
+      const double p_ok = std::exp(bits * std::log1p(-cfg_.bit_error_rate));
+      if (!rng_.bernoulli(p_ok)) {
+        ++corrupted_;
+        maybe_start();
+        return;
+      }
+    }
+    if (sink_) {
+      sched_.schedule_after(cfg_.propagation,
+                            [sink = sink_, f = std::move(f)]() mutable {
+                              sink(std::move(f));
+                            });
+    }
+    maybe_start();
+  });
+}
+
+double Link::utilization() const {
+  const des::SimTime span = sched_.now() - created_at_;
+  if (span <= des::SimTime::zero()) return 0.0;
+  return busy_accum_.sec() / span.sec();
+}
+
+double Link::mean_queue_bytes() const {
+  return queue_depth_.average(sched_.now());
+}
+
+}  // namespace gtw::net

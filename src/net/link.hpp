@@ -1,0 +1,89 @@
+// Unidirectional serializing link: the building block for ATM fibres, HiPPI
+// channels and switch output ports.  A link owns a FIFO of frames, transmits
+// them back-to-back at its configured rate, and delivers each frame to its
+// sink after the propagation delay.  Frames that would overflow the queue
+// limit are dropped whole (early packet discard, as ATM switches of the era
+// did for AAL5 traffic).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "des/random.hpp"
+#include "des/scheduler.hpp"
+#include "des/stats.hpp"
+#include "net/packet.hpp"
+
+namespace gtw::net {
+
+struct Frame {
+  IpPacket pkt;
+  std::uint32_t wire_bytes = 0;  // bytes on the wire including L2 overhead
+  std::uint32_t vc = 0;          // ATM virtual circuit id (0 = not ATM)
+  HostId l2_dst = kNoHost;       // L2 next stop (HiPPI station addressing)
+};
+
+using FrameSink = std::function<void(Frame)>;
+
+class Link {
+ public:
+  struct Config {
+    double rate_bps = 0.0;                     // usable L2 line rate
+    des::SimTime propagation = des::SimTime::zero();
+    std::uint64_t queue_limit_bytes = 1 << 20; // wire bytes admitted to queue
+    des::SimTime per_frame_overhead = des::SimTime::zero();  // e.g. HiPPI connect
+    // Residual bit error rate.  The testbed's OC-48 line initially showed
+    // "stability problems ... related to signal attenuation and timing"
+    // (paper section 2); a frame is lost with probability
+    // 1-(1-BER)^bits.  0 disables corruption.
+    double bit_error_rate = 0.0;
+  };
+
+  Link(des::Scheduler& sched, std::string name, Config cfg);
+
+  void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+
+  // Degrade (or repair) the line at runtime — models the testbed's early
+  // attenuation/timing problems and their later fix.
+  void set_bit_error_rate(double ber) { cfg_.bit_error_rate = ber; }
+
+  // Enqueue a frame; returns false (and counts a drop) on overflow.
+  bool submit(Frame f);
+
+  const std::string& name() const { return name_; }
+  const Config& config() const { return cfg_; }
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+  std::uint64_t corrupted_frames() const { return corrupted_; }
+  double utilization() const;   // busy fraction since construction
+  double mean_queue_bytes() const;
+
+ private:
+  void maybe_start();
+
+  des::Scheduler& sched_;
+  std::string name_;
+  Config cfg_;
+  FrameSink sink_;
+
+  std::deque<Frame> queue_;
+  std::uint64_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::uint64_t corrupted_ = 0;
+  des::Rng rng_{0x6c696e6bULL};  // per-link error stream
+  des::SimTime busy_accum_ = des::SimTime::zero();
+  des::SimTime created_at_ = des::SimTime::zero();
+  mutable des::TimeWeighted queue_depth_;
+};
+
+}  // namespace gtw::net

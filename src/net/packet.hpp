@@ -1,0 +1,44 @@
+// IP packet descriptor.  Payload bytes are not materialised (a 2.4 Gbit/s
+// bulk transfer would churn gigabytes); instead packets carry sizes plus an
+// optional shared, opaque payload handle that upper layers (the meta
+// library, the FIRE pipeline) use to hand real data across the simulated
+// network without copying.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+
+namespace gtw::net {
+
+using HostId = std::uint32_t;
+constexpr HostId kNoHost = 0xffffffff;
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+struct IpPacket {
+  std::uint64_t id = 0;            // unique per simulation, for tracing
+  HostId src = kNoHost;
+  HostId dst = kNoHost;
+  IpProto proto = IpProto::kUdp;
+  std::uint32_t total_bytes = 0;   // IP header + transport header + payload
+  std::uint8_t ttl = 64;
+
+  // Transport demultiplexing.
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  // Transport-specific control block (TCP segment metadata, datagram body).
+  std::shared_ptr<const std::any> payload;
+
+  // IP fragmentation state (RFC 791 semantics at packet granularity).
+  std::uint32_t datagram_id = 0;
+  std::uint32_t frag_offset = 0;   // bytes of transport data preceding this
+  bool more_fragments = false;
+
+  std::uint32_t payload_bytes() const {
+    return total_bytes >= 20 ? total_bytes - 20 : 0;
+  }
+};
+
+}  // namespace gtw::net

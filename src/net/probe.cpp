@@ -1,0 +1,81 @@
+#include "net/probe.hpp"
+
+#include "net/units.hpp"
+
+namespace gtw::net {
+
+EchoResponder::EchoResponder(Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  host_.bind(IpProto::kUdp, port_, [this](const IpPacket& pkt) {
+    ++echoes_;
+    IpPacket reply;
+    reply.dst = pkt.src;
+    reply.proto = IpProto::kUdp;
+    reply.src_port = port_;
+    reply.dst_port = pkt.src_port;
+    reply.total_bytes = pkt.total_bytes;
+    reply.payload = pkt.payload;  // carries the probe's sequence number
+    host_.send_datagram(std::move(reply));
+  });
+}
+
+EchoResponder::~EchoResponder() { host_.unbind(IpProto::kUdp, port_); }
+
+Pinger::Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
+               std::uint32_t payload_bytes, des::SimTime interval)
+    : src_(src), dst_(dst), dst_port_(dst_port),
+      src_port_(static_cast<std::uint16_t>(40000 + dst_port)), count_(count),
+      payload_(payload_bytes), interval_(interval) {}
+
+Pinger::~Pinger() {
+  src_.unbind(IpProto::kUdp, src_port_);
+  timeout_.cancel();
+}
+
+void Pinger::start(std::function<void(const PingReport&)> done) {
+  done_ = std::move(done);
+  src_.bind(IpProto::kUdp, src_port_, [this](const IpPacket& pkt) {
+    if (!pkt.payload) return;
+    const auto* seq = std::any_cast<std::uint32_t>(pkt.payload.get());
+    if (seq == nullptr) return;
+    auto it = outstanding_.find(*seq);
+    if (it == outstanding_.end()) return;
+    ++report_.received;
+    report_.rtt_ms.add((src_.scheduler().now() - it->second).ms());
+    outstanding_.erase(it);
+    if (report_.sent == count_ && outstanding_.empty()) finish();
+  });
+  send_next();
+}
+
+void Pinger::send_next() {
+  if (report_.sent >= count_) {
+    // Grace timeout for stragglers.
+    timeout_ = src_.scheduler().schedule_after(des::SimTime::seconds(1.0),
+                                               [this]() { finish(); });
+    return;
+  }
+  IpPacket pkt;
+  pkt.dst = dst_;
+  pkt.proto = IpProto::kUdp;
+  pkt.src_port = src_port_;
+  pkt.dst_port = dst_port_;
+  pkt.total_bytes = payload_ + kIpHeaderBytes + kUdpHeaderBytes;
+  pkt.payload = std::make_shared<const std::any>(next_seq_);
+  outstanding_[next_seq_] = src_.scheduler().now();
+  ++next_seq_;
+  ++report_.sent;
+  src_.send_datagram(std::move(pkt));
+  src_.scheduler().schedule_after(interval_, [this]() { send_next(); });
+}
+
+void Pinger::finish() {
+  timeout_.cancel();
+  if (done_) {
+    auto cb = std::move(done_);
+    done_ = nullptr;
+    cb(report_);
+  }
+}
+
+}  // namespace gtw::net

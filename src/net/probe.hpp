@@ -1,0 +1,72 @@
+// Active path probing: UDP echo "ping" between simulated hosts — what the
+// testbed operators ran constantly while debugging the OC-48 line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "des/stats.hpp"
+#include "net/host.hpp"
+
+namespace gtw::net {
+
+// Installs an echo responder on `host` at `port` (replies to the packet's
+// source and source port with the same payload size).  Keeps the binding
+// alive for its own lifetime.
+class EchoResponder {
+ public:
+  EchoResponder(Host& host, std::uint16_t port);
+  ~EchoResponder();
+  EchoResponder(const EchoResponder&) = delete;
+  EchoResponder& operator=(const EchoResponder&) = delete;
+
+  std::uint64_t echoes() const { return echoes_; }
+
+ private:
+  Host& host_;
+  std::uint16_t port_;
+  std::uint64_t echoes_ = 0;
+};
+
+struct PingReport {
+  int sent = 0;
+  int received = 0;
+  des::RunningStats rtt_ms;
+};
+
+// Sends `count` probes of `payload_bytes` from `src` to the EchoResponder
+// on (`dst`, `dst_port`), one every `interval`; `done` fires after the
+// last reply arrives or a per-probe timeout of 1 s passes.
+class Pinger {
+ public:
+  Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
+         std::uint32_t payload_bytes = 56,
+         des::SimTime interval = des::SimTime::milliseconds(10));
+  ~Pinger();
+  Pinger(const Pinger&) = delete;
+  Pinger& operator=(const Pinger&) = delete;
+
+  void start(std::function<void(const PingReport&)> done);
+
+ private:
+  void send_next();
+  void finish();
+
+  Host& src_;
+  HostId dst_;
+  std::uint16_t dst_port_;
+  std::uint16_t src_port_;
+  int count_;
+  std::uint32_t payload_;
+  des::SimTime interval_;
+  PingReport report_;
+  std::map<std::uint32_t, des::SimTime> outstanding_;  // seq -> sent time
+  std::uint32_t next_seq_ = 0;
+  des::EventHandle timeout_;
+  std::function<void(const PingReport&)> done_;
+};
+
+}  // namespace gtw::net

@@ -1,0 +1,286 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gtw::net {
+
+namespace {
+constexpr des::SimTime kMaxRto = des::SimTime::seconds(60.0);
+}
+
+TcpConnection::TcpConnection(Host& a, Host& b, std::uint16_t port_a,
+                             std::uint16_t port_b, TcpConfig config)
+    : sched_(a.scheduler()), cfg_(config) {
+  ep_[0].host = &a;
+  ep_[0].local_port = port_a;
+  ep_[0].remote_port = port_b;
+  ep_[1].host = &b;
+  ep_[1].local_port = port_b;
+  ep_[1].remote_port = port_a;
+  for (int s = 0; s < 2; ++s) {
+    ep_[s].cwnd = static_cast<double>(cfg_.initial_cwnd_segments) * cfg_.mss;
+    ep_[s].ssthresh = static_cast<double>(cfg_.recv_buffer);
+    ep_[s].rto = cfg_.initial_rto;
+    ep_[s].host->bind(IpProto::kTcp, ep_[s].local_port,
+                      [this, s](const IpPacket& pkt) { on_packet(s, pkt); });
+  }
+}
+
+TcpConnection::~TcpConnection() {
+  for (auto& e : ep_) {
+    if (e.host != nullptr) e.host->unbind(IpProto::kTcp, e.local_port);
+    e.rto_timer.cancel();
+    e.ack_timer.cancel();
+  }
+}
+
+void TcpConnection::send(int side, std::uint64_t bytes, std::any data,
+                         DeliveryCallback on_delivered) {
+  assert(side == 0 || side == 1);
+  Endpoint& e = ep_[side];
+  e.snd_end += bytes;
+  e.stats.bytes_queued += bytes;
+  e.messages.push_back(Message{e.snd_end, std::move(data),
+                               std::move(on_delivered)});
+  try_send(side);
+}
+
+std::uint64_t TcpConnection::window_bytes(const Endpoint& e,
+                                          const Endpoint&) const {
+  const auto cwnd = static_cast<std::uint64_t>(e.cwnd);
+  return std::min<std::uint64_t>(cwnd, cfg_.recv_buffer);
+}
+
+void TcpConnection::try_send(int side) {
+  Endpoint& e = ep_[side];
+  const std::uint64_t window = window_bytes(e, ep_[1 - side]);
+  while (e.snd_nxt < e.snd_end) {
+    const std::uint64_t inflight = e.snd_nxt - e.snd_una;
+    if (inflight >= window) break;
+    const std::uint64_t room = window - inflight;
+    const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        {cfg_.mss, e.snd_end - e.snd_nxt, room}));
+    if (len == 0) break;
+    send_segment(side, e.snd_nxt, len, /*retransmit=*/false);
+    e.snd_nxt += len;
+  }
+}
+
+void TcpConnection::send_segment(int side, std::uint64_t seq,
+                                 std::uint32_t len, bool retransmit) {
+  Endpoint& e = ep_[side];
+  IpPacket pkt;
+  pkt.dst = ep_[1 - side].host->id();
+  pkt.proto = IpProto::kTcp;
+  pkt.src_port = e.local_port;
+  pkt.dst_port = e.remote_port;
+  pkt.total_bytes = len + kIpHeaderBytes + kTcpHeaderBytes;
+  pkt.payload = std::make_shared<const std::any>(
+      SegMeta{seq, len, e.rcv_nxt});
+  ++e.stats.segments_sent;
+  if (retransmit) ++e.stats.retransmits;
+
+  if (!retransmit && !e.timing) {
+    // Time this segment for the RTT estimate (Karn's rule: never time a
+    // retransmission).
+    e.timing = true;
+    e.timed_seq = seq + len;
+    e.timed_at = sched_.now();
+  }
+  arm_rto(side);
+  e.host->send_datagram(std::move(pkt));
+}
+
+void TcpConnection::arm_rto(int side) {
+  Endpoint& e = ep_[side];
+  e.rto_timer.cancel();
+  e.rto_timer =
+      sched_.schedule_after(e.rto, [this, side]() { on_rto(side); });
+}
+
+void TcpConnection::on_rto(int side) {
+  Endpoint& e = ep_[side];
+  if (e.snd_una >= e.snd_end && e.snd_una == e.snd_nxt) return;  // all done
+  ++e.stats.timeouts;
+  // Multiplicative decrease and go-back-N.
+  const double flight = static_cast<double>(e.snd_nxt - e.snd_una);
+  e.ssthresh = std::max(flight / 2.0, 2.0 * cfg_.mss);
+  e.cwnd = cfg_.mss;
+  e.dupacks = 0;
+  e.timing = false;  // Karn: discard the timed sample
+  e.snd_nxt = e.snd_una;
+  e.rto = std::min(e.rto * 2, kMaxRto);
+  try_send(side);
+  arm_rto(side);
+}
+
+void TcpConnection::on_packet(int side, const IpPacket& pkt) {
+  if (!pkt.payload) return;
+  const auto* meta = std::any_cast<SegMeta>(pkt.payload.get());
+  if (meta == nullptr) return;
+  if (meta->len > 0) process_data(side, *meta);
+  process_ack(side, *meta);
+}
+
+void TcpConnection::process_data(int side, const SegMeta& m) {
+  Endpoint& e = ep_[side];
+  const std::uint64_t seg_end = m.seq + m.len;
+  if (seg_end <= e.rcv_nxt) {
+    // Old duplicate; re-ACK so the sender can make progress.
+    send_ack(side);
+    return;
+  }
+  if (m.seq <= e.rcv_nxt) {
+    e.rcv_nxt = seg_end;
+    // Pull in any out-of-order data now contiguous.
+    auto it = e.ooo.begin();
+    while (it != e.ooo.end() && it->first <= e.rcv_nxt) {
+      e.rcv_nxt = std::max(e.rcv_nxt, it->second);
+      it = e.ooo.erase(it);
+    }
+    deliver_messages(1 - side);
+  } else {
+    // Hole: stash the interval, keeping the list sorted and merged.
+    auto pos = std::lower_bound(
+        e.ooo.begin(), e.ooo.end(), std::make_pair(m.seq, seg_end));
+    pos = e.ooo.insert(pos, {m.seq, seg_end});
+    // Merge neighbours.
+    if (pos != e.ooo.begin() && std::prev(pos)->second >= pos->first) {
+      std::prev(pos)->second = std::max(std::prev(pos)->second, pos->second);
+      pos = std::prev(e.ooo.erase(pos));
+    }
+    while (std::next(pos) != e.ooo.end() && pos->second >= std::next(pos)->first) {
+      pos->second = std::max(pos->second, std::next(pos)->second);
+      e.ooo.erase(std::next(pos));
+    }
+  }
+  send_ack(side);
+}
+
+void TcpConnection::send_ack(int side) {
+  Endpoint& e = ep_[side];
+  if (cfg_.delayed_ack) {
+    if (e.ack_pending) {
+      // Second segment since the last ACK: flush immediately (RFC 1122).
+      e.ack_timer.cancel();
+      flush_ack(side);
+      return;
+    }
+    e.ack_pending = true;
+    e.ack_timer = sched_.schedule_after(cfg_.delayed_ack_timeout,
+                                        [this, side]() { flush_ack(side); });
+    return;
+  }
+  flush_ack(side);
+}
+
+void TcpConnection::flush_ack(int side) {
+  Endpoint& e = ep_[side];
+  e.ack_pending = false;
+  IpPacket pkt;
+  pkt.dst = ep_[1 - side].host->id();
+  pkt.proto = IpProto::kTcp;
+  pkt.src_port = e.local_port;
+  pkt.dst_port = e.remote_port;
+  pkt.total_bytes = kIpHeaderBytes + kTcpHeaderBytes;
+  pkt.payload = std::make_shared<const std::any>(SegMeta{0, 0, e.rcv_nxt});
+  ++e.stats.acks_sent;
+  e.host->send_datagram(std::move(pkt));
+}
+
+void TcpConnection::process_ack(int side, const SegMeta& m) {
+  Endpoint& e = ep_[side];
+  if (m.ack > e.snd_una) {
+    e.snd_una = m.ack;
+    e.stats.bytes_acked = e.snd_una;
+    e.dupacks = 0;
+    // RTT sample.
+    if (e.timing && m.ack >= e.timed_seq) {
+      const double sample = (sched_.now() - e.timed_at).sec();
+      e.timing = false;
+      if (e.srtt_s < 0) {
+        e.srtt_s = sample;
+        e.rttvar_s = sample / 2.0;
+      } else {
+        const double err = sample - e.srtt_s;
+        e.srtt_s += 0.125 * err;
+        e.rttvar_s += 0.25 * (std::abs(err) - e.rttvar_s);
+      }
+      const double rto_s = e.srtt_s + 4.0 * e.rttvar_s;
+      e.rto = std::max(cfg_.min_rto, des::SimTime::seconds(rto_s));
+    }
+    // Congestion window growth.
+    if (e.cwnd < e.ssthresh) {
+      e.cwnd += cfg_.mss;  // slow start: +MSS per ACK
+    } else {
+      e.cwnd += static_cast<double>(cfg_.mss) * cfg_.mss / e.cwnd;
+    }
+    e.stats.cwnd_bytes = e.cwnd;
+    e.stats.srtt_ms = e.srtt_s * 1e3;
+    if (e.snd_una == e.snd_nxt && e.snd_una == e.snd_end) {
+      e.rto_timer.cancel();  // everything acknowledged
+    } else {
+      arm_rto(side);
+    }
+    try_send(side);
+  } else if (m.ack == e.snd_una && e.snd_nxt > e.snd_una) {
+    if (++e.dupacks == 3) {
+      // Fast retransmit + multiplicative decrease.
+      ++e.stats.fast_retransmits;
+      const double flight = static_cast<double>(e.snd_nxt - e.snd_una);
+      e.ssthresh = std::max(flight / 2.0, 2.0 * cfg_.mss);
+      e.cwnd = e.ssthresh;
+      e.timing = false;
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(cfg_.mss, e.snd_end - e.snd_una));
+      if (len > 0) send_segment(side, e.snd_una, len, /*retransmit=*/true);
+    }
+  }
+}
+
+void TcpConnection::deliver_messages(int sender_side) {
+  Endpoint& sender = ep_[sender_side];
+  const std::uint64_t received = ep_[1 - sender_side].rcv_nxt;
+  while (!sender.messages.empty() &&
+         sender.messages.front().end_offset <= received) {
+    Message msg = std::move(sender.messages.front());
+    sender.messages.pop_front();
+    if (msg.cb) msg.cb(msg.data, sched_.now());
+  }
+}
+
+TcpConnection::Stats TcpConnection::stats(int side) const {
+  Stats s = ep_[side].stats;
+  s.cwnd_bytes = ep_[side].cwnd;
+  s.srtt_ms = ep_[side].srtt_s * 1e3;
+  return s;
+}
+
+std::uint64_t TcpConnection::bytes_received(int side) const {
+  return ep_[side].rcv_nxt;
+}
+
+BulkTransferResult run_bulk_transfer(des::Scheduler& sched, Host& a, Host& b,
+                                     std::uint64_t bytes, TcpConfig cfg,
+                                     std::uint16_t port_base) {
+  TcpConnection conn(a, b, port_base, static_cast<std::uint16_t>(port_base + 1),
+                     cfg);
+  const des::SimTime start = sched.now();
+  des::SimTime done = start;
+  bool finished = false;
+  conn.send(0, bytes, {}, [&](const std::any&, des::SimTime when) {
+    done = when;
+    finished = true;
+  });
+  sched.run();
+  BulkTransferResult out;
+  out.sender_stats = conn.stats(0);
+  if (finished && done > start) {
+    out.duration = done - start;
+    out.goodput_bps = static_cast<double>(bytes) * 8.0 / out.duration.sec();
+  }
+  return out;
+}
+
+}  // namespace gtw::net

@@ -1,0 +1,58 @@
+// Rate and size units for the network substrate.  Rates are plain doubles in
+// bits per second; the named constants below match the technologies deployed
+// in the Gigabit Testbed West (HPDC'99 paper, section 2).
+#pragma once
+
+#include <cstdint>
+
+namespace gtw::net {
+
+constexpr double kKbit = 1e3;
+constexpr double kMbit = 1e6;
+constexpr double kGbit = 1e9;
+
+// SDH/SONET line rates and their usable payload after section/path overhead.
+// STM-1 carries 149.76 Mbit/s of payload in a 155.52 Mbit/s line; the ratio
+// (~0.963) is the same for the concatenated higher rates used in the testbed.
+constexpr double kSdhPayloadFraction = 149.76 / 155.52;
+
+constexpr double kOc3Line = 155.52 * kMbit;    // STM-1  (B-WiN access, SP2 nodes)
+constexpr double kOc12Line = 622.08 * kMbit;   // STM-4  (testbed 1997, host NICs)
+constexpr double kOc48Line = 2488.32 * kMbit;  // STM-16 (testbed since Aug 1998)
+
+constexpr double kHippiRate = 800 * kMbit;     // HiPPI channel peak
+
+// ATM constants.
+constexpr std::uint32_t kAtmCellBytes = 53;
+constexpr std::uint32_t kAtmCellPayload = 48;
+constexpr std::uint32_t kAal5TrailerBytes = 8;
+
+// IPv4 and TCP header sizes (no options).
+constexpr std::uint32_t kIpHeaderBytes = 20;
+constexpr std::uint32_t kTcpHeaderBytes = 20;
+constexpr std::uint32_t kUdpHeaderBytes = 8;
+// LLC/SNAP encapsulation for Classical IP over ATM (RFC 1483/1577).
+constexpr std::uint32_t kLlcSnapBytes = 8;
+
+// Default MTUs.
+constexpr std::uint32_t kMtuEthernet = 1500;
+constexpr std::uint32_t kMtuAtmDefault = 9180;   // RFC 1577 default
+constexpr std::uint32_t kMtuAtmFore = 65535;     // Fore adapters: 64 KByte MTU
+constexpr std::uint32_t kMtuHippi = 65280;       // HiPPI-LE style large MTU
+
+// Speed of light in fibre: ~5 us per km.
+constexpr double kFiberDelaySecPerKm = 5e-6;
+
+// Number of ATM cells needed for an AAL5 PDU of `pdu_bytes` (payload +
+// LLC/SNAP already included by the caller); the 8-byte AAL5 trailer must fit
+// in the last cell, with zero padding up to a cell boundary.
+constexpr std::uint32_t aal5_cells(std::uint32_t pdu_bytes) {
+  return (pdu_bytes + kAal5TrailerBytes + kAtmCellPayload - 1) / kAtmCellPayload;
+}
+
+// Bytes actually on the wire for an AAL5 PDU (cell tax included).
+constexpr std::uint32_t aal5_wire_bytes(std::uint32_t pdu_bytes) {
+  return aal5_cells(pdu_bytes) * kAtmCellBytes;
+}
+
+}  // namespace gtw::net

@@ -1,0 +1,60 @@
+#include "scanner/kspace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gtw::scanner {
+
+std::vector<linalg::Complex> acquire_kspace_slice(const fire::VolumeF& vol,
+                                                  int z, double noise_sigma,
+                                                  des::Rng& rng) {
+  const fire::Dims d = vol.dims();
+  if (!linalg::is_power_of_two(static_cast<std::size_t>(d.nx)) ||
+      !linalg::is_power_of_two(static_cast<std::size_t>(d.ny)))
+    throw std::invalid_argument("acquire_kspace_slice: dims not 2^n");
+
+  std::vector<linalg::Complex> k(static_cast<std::size_t>(d.nx) *
+                                 static_cast<std::size_t>(d.ny));
+  for (int y = 0; y < d.ny; ++y)
+    for (int x = 0; x < d.nx; ++x)
+      k[static_cast<std::size_t>(y) * d.nx + x] =
+          linalg::Complex(vol.at(x, y, z), 0.0);
+  linalg::fft2d(k, d.nx, d.ny, /*inverse=*/false);
+
+  // Complex receiver noise; scaled by sqrt(N) so that after the 1/N
+  // inverse transform each image-domain noise component has standard
+  // deviation noise_sigma.
+  const double scale =
+      noise_sigma * std::sqrt(static_cast<double>(d.nx) *
+                              static_cast<double>(d.ny));
+  for (auto& s : k)
+    s += linalg::Complex(rng.normal(0.0, scale), rng.normal(0.0, scale));
+  return k;
+}
+
+void reconstruct_slice(const std::vector<linalg::Complex>& kspace, int nx,
+                       int ny, fire::VolumeF& out, int z) {
+  std::vector<linalg::Complex> img = kspace;
+  linalg::fft2d(img, nx, ny, /*inverse=*/true);
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x)
+      out.at(x, y, z) = static_cast<float>(
+          std::abs(img[static_cast<std::size_t>(y) * nx + x]));
+}
+
+fire::VolumeF acquire_and_reconstruct(const fire::VolumeF& vol,
+                                      double noise_sigma, des::Rng& rng) {
+  const fire::Dims d = vol.dims();
+  fire::VolumeF out(d);
+  for (int z = 0; z < d.nz; ++z) {
+    const auto k = acquire_kspace_slice(vol, z, noise_sigma, rng);
+    reconstruct_slice(k, d.nx, d.ny, out, z);
+  }
+  return out;
+}
+
+std::uint64_t kspace_bytes(const fire::Dims& dims) {
+  return dims.voxels() * 2u * 4u;
+}
+
+}  // namespace gtw::scanner

@@ -1,0 +1,46 @@
+// EPI k-space acquisition and reconstruction — what happens on the
+// scanner's control workstation in the ~1.5 s between the scan and the
+// RT-server (paper section 4, step 1: "the raw images are transferred from
+// the control-workstation of the scanner", which implies the
+// reconstruction already happened there).
+//
+// An EPI readout samples the 2-D Fourier transform of each slice; receiver
+// noise is added *in k-space* (physically correct: it enters through the
+// coil), and the image is recovered by inverse FFT.  Slice dimensions must
+// be powers of two (64x64 in the paper).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "des/random.hpp"
+#include "fire/volume.hpp"
+#include "linalg/fft.hpp"
+
+namespace gtw::scanner {
+
+// Forward-acquire one slice: FFT of the slice image plus complex Gaussian
+// receiver noise of standard deviation `noise_sigma` (in k-space units
+// normalised so that sigma maps ~1:1 to image-domain noise).
+std::vector<linalg::Complex> acquire_kspace_slice(const fire::VolumeF& vol,
+                                                  int z, double noise_sigma,
+                                                  des::Rng& rng);
+
+// Reconstruct a slice image from its k-space samples (inverse FFT,
+// magnitude image, as the Siemens reconstruction produced).
+void reconstruct_slice(const std::vector<linalg::Complex>& kspace, int nx,
+                       int ny, fire::VolumeF& out, int z);
+
+// Whole-volume convenience: acquire every slice and reconstruct; the
+// round trip is the identity up to receiver noise.
+fire::VolumeF acquire_and_reconstruct(const fire::VolumeF& vol,
+                                      double noise_sigma, des::Rng& rng);
+
+// Bytes of raw k-space for one volume (complex samples, 2 x 4-byte floats
+// as the scanner stored them) — what would cross the scanner link if raw
+// data were shipped instead of images, the "order of magnitude beyond"
+// data-rate future the paper warns about.
+std::uint64_t kspace_bytes(const fire::Dims& dims);
+
+}  // namespace gtw::scanner

@@ -1,0 +1,44 @@
+#include "viz/merge.hpp"
+
+#include <algorithm>
+
+namespace gtw::viz {
+
+MergeResult merge_functional(const fire::VolumeF& anatomical,
+                             const fire::VolumeF& correlation,
+                             float clip_level, float highlight_gain) {
+  const fire::Dims da = anatomical.dims();
+  const fire::Dims df = correlation.dims();
+  MergeResult out;
+  out.merged = anatomical;
+  out.overlay = fire::Volume<std::uint8_t>(da);
+
+  float anat_peak = 1.0f;
+  for (std::size_t i = 0; i < anatomical.size(); ++i)
+    anat_peak = std::max(anat_peak, anatomical[i]);
+
+  const double sx = static_cast<double>(df.nx) / da.nx;
+  const double sy = static_cast<double>(df.ny) / da.ny;
+  const double sz = static_cast<double>(df.nz) / da.nz;
+
+  for (int z = 0; z < da.nz; ++z) {
+    for (int y = 0; y < da.ny; ++y) {
+      for (int x = 0; x < da.nx; ++x) {
+        const double r = correlation.sample((x + 0.5) * sx - 0.5,
+                                            (y + 0.5) * sy - 0.5,
+                                            (z + 0.5) * sz - 0.5);
+        out.peak_correlation =
+            std::max(out.peak_correlation, static_cast<float>(r));
+        if (r >= clip_level) {
+          out.overlay.at(x, y, z) = 1;
+          ++out.activated_voxels;
+          out.merged.at(x, y, z) += static_cast<float>(
+              highlight_gain * r * anat_peak);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gtw::viz

@@ -1,0 +1,29 @@
+// Functional-onto-anatomical merge: the Onyx 2 "merges [the functional
+// data] with a high resolution (256x256x128 voxels) image of the subject's
+// head" before display on the Responsive Workbench (paper section 4, and
+// figure 4's AVS prototype).  Voxels whose upsampled correlation exceeds
+// the clip level are flagged and intensity-blended — the non-graphical
+// equivalent of the color-coded overlay.
+#pragma once
+
+#include <cstdint>
+
+#include "fire/volume.hpp"
+
+namespace gtw::viz {
+
+struct MergeResult {
+  fire::VolumeF merged;                    // anatomical with overlay blended
+  fire::Volume<std::uint8_t> overlay;      // 1 where activation is shown
+  std::size_t activated_voxels = 0;
+  float peak_correlation = 0.0f;
+};
+
+// Upsample `correlation` (functional grid) onto `anatomical`'s grid with
+// trilinear interpolation; where it exceeds `clip_level`, mark the overlay
+// and add `highlight_gain * r * anatomical_scale` to the merged intensity.
+MergeResult merge_functional(const fire::VolumeF& anatomical,
+                             const fire::VolumeF& correlation,
+                             float clip_level, float highlight_gain = 0.5f);
+
+}  // namespace gtw::viz

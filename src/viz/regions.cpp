@@ -1,0 +1,71 @@
+#include "viz/regions.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+namespace gtw::viz {
+
+std::vector<ActivationRegionInfo> label_regions(
+    const fire::Volume<std::uint8_t>& mask, const fire::VolumeF* values,
+    std::size_t min_voxels) {
+  const fire::Dims d = mask.dims();
+  std::vector<int> labels(mask.size(), 0);
+  auto index = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(z) * d.ny + y) * d.nx + x;
+  };
+
+  std::vector<ActivationRegionInfo> out;
+  int next_label = 0;
+  for (int z = 0; z < d.nz; ++z) {
+    for (int y = 0; y < d.ny; ++y) {
+      for (int x = 0; x < d.nx; ++x) {
+        const std::size_t i = index(x, y, z);
+        if (mask[i] == 0 || labels[i] != 0) continue;
+        // Breadth-first flood fill over the 6-neighbourhood.
+        ActivationRegionInfo info;
+        info.label = ++next_label;
+        std::queue<std::array<int, 3>> frontier;
+        frontier.push({x, y, z});
+        labels[i] = info.label;
+        while (!frontier.empty()) {
+          const auto [px, py, pz] = frontier.front();
+          frontier.pop();
+          const std::size_t pi = index(px, py, pz);
+          ++info.voxels;
+          info.cx += px;
+          info.cy += py;
+          info.cz += pz;
+          if (values != nullptr)
+            info.peak_value = std::max(info.peak_value, (*values)[pi]);
+          const int nbr[6][3] = {{px + 1, py, pz}, {px - 1, py, pz},
+                                 {px, py + 1, pz}, {px, py - 1, pz},
+                                 {px, py, pz + 1}, {px, py, pz - 1}};
+          for (const auto& n : nbr) {
+            if (n[0] < 0 || n[0] >= d.nx || n[1] < 0 || n[1] >= d.ny ||
+                n[2] < 0 || n[2] >= d.nz)
+              continue;
+            const std::size_t ni = index(n[0], n[1], n[2]);
+            if (mask[ni] != 0 && labels[ni] == 0) {
+              labels[ni] = info.label;
+              frontier.push({n[0], n[1], n[2]});
+            }
+          }
+        }
+        if (info.voxels >= min_voxels) {
+          info.cx /= static_cast<double>(info.voxels);
+          info.cy /= static_cast<double>(info.voxels);
+          info.cz /= static_cast<double>(info.voxels);
+          out.push_back(info);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ActivationRegionInfo& a, const ActivationRegionInfo& b) {
+              return a.voxels > b.voxels;
+            });
+  return out;
+}
+
+}  // namespace gtw::viz

@@ -1,0 +1,29 @@
+// Connected-component labelling of activation overlays — the quantitative
+// counterpart of Figure 4's "light areas are regions of the brain that are
+// activated": how many distinct regions, where, and how large.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fire/volume.hpp"
+
+namespace gtw::viz {
+
+struct ActivationRegionInfo {
+  int label = 0;
+  std::size_t voxels = 0;
+  // Centroid in voxel coordinates.
+  double cx = 0, cy = 0, cz = 0;
+  float peak_value = 0.0f;   // of `values` within the region (if provided)
+};
+
+// 6-connected component labelling of the nonzero voxels of `mask`.
+// `values` (optional, same dims) supplies per-voxel intensities for peak
+// reporting.  Regions are returned largest-first; components smaller than
+// `min_voxels` are dropped (speckle suppression).
+std::vector<ActivationRegionInfo> label_regions(
+    const fire::Volume<std::uint8_t>& mask,
+    const fire::VolumeF* values = nullptr, std::size_t min_voxels = 1);
+
+}  // namespace gtw::viz

@@ -1,0 +1,60 @@
+#include "viz/workbench.hpp"
+
+namespace gtw::viz {
+
+double classical_ip_fps(const WorkbenchFormat& fmt, double link_rate_bps,
+                        std::uint32_t mtu) {
+  const std::uint64_t frame = fmt.frame_bytes();
+  // IP fragmentation: payload per fragment (8-byte aligned), each fragment
+  // re-carries the IP header and is AAL5-framed with LLC/SNAP.
+  const std::uint32_t per_frag = ((mtu - net::kIpHeaderBytes) / 8) * 8;
+  const std::uint64_t full_frags = frame / per_frag;
+  const std::uint32_t tail = static_cast<std::uint32_t>(frame % per_frag);
+
+  std::uint64_t wire = full_frags *
+      net::aal5_wire_bytes(per_frag + net::kIpHeaderBytes + net::kLlcSnapBytes);
+  if (tail > 0)
+    wire += net::aal5_wire_bytes(tail + net::kIpHeaderBytes +
+                                 net::kLlcSnapBytes);
+  const double seconds_per_frame =
+      static_cast<double>(wire) * 8.0 / link_rate_bps;
+  return 1.0 / seconds_per_frame;
+}
+
+FrameStreamer::FrameStreamer(des::Scheduler& sched, net::Host& src,
+                             net::Host& dst, WorkbenchFormat fmt,
+                             RenderModel render, int frame_count,
+                             net::TcpConfig tcp)
+    : sched_(sched), fmt_(fmt), render_(render), frame_count_(frame_count),
+      conn_(src, dst, 7100, 7101, tcp) {}
+
+void FrameStreamer::start() { render_next(); }
+
+void FrameStreamer::render_next() {
+  if (rendered_ >= frame_count_) return;
+  ++rendered_;
+  sched_.schedule_after(render_.frame_time(fmt_), [this]() {
+    conn_.send(0, fmt_.frame_bytes(), {},
+               [this](const std::any&, des::SimTime when) {
+                 ++delivered_;
+                 if (first_) {
+                   first_ = false;
+                   first_delivery_ = when;
+                 } else {
+                   intervals_.add((when - last_delivery_).ms());
+                 }
+                 last_delivery_ = when;
+               });
+    // Render the next frame while this one is in flight (double buffer).
+    render_next();
+  });
+}
+
+double FrameStreamer::achieved_fps() const {
+  if (delivered_ < 2) return 0.0;
+  const double span = (last_delivery_ - first_delivery_).sec();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(delivered_ - 1) / span;
+}
+
+}  // namespace gtw::viz

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "des/scheduler.hpp"
+#include "meta/coallocation.hpp"
+
+namespace gtw::meta {
+namespace {
+
+struct BrokerFixture {
+  des::Scheduler sched;
+  Metacomputer mc{sched};
+  int t3e, onyx2;
+  CoallocationBroker broker{mc};
+
+  BrokerFixture() {
+    MachineSpec a;
+    a.name = "T3E";
+    a.max_pes = 512;
+    t3e = mc.add_machine(a);
+    MachineSpec b;
+    b.name = "Onyx2";
+    b.max_pes = 12;
+    onyx2 = mc.add_machine(b);
+  }
+};
+
+TEST(CoallocationTest, ImmediateFitStartsAtRequestedTime) {
+  BrokerFixture f;
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 256}, {f.onyx2, 8}}, des::SimTime::seconds(600.0),
+      des::SimTime::seconds(100.0));
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.start, des::SimTime::seconds(100.0));
+  EXPECT_EQ(r.end, des::SimTime::seconds(700.0));
+  EXPECT_EQ(f.broker.available(f.t3e, des::SimTime::seconds(300.0)), 256);
+  EXPECT_EQ(f.broker.available(f.onyx2, des::SimTime::seconds(300.0)), 4);
+}
+
+TEST(CoallocationTest, ConflictPushesStartToFreedCapacity) {
+  BrokerFixture f;
+  f.broker.reserve({{f.t3e, 400}}, des::SimTime::seconds(1000.0),
+                   des::SimTime::zero());
+  // 256 more PEs do not fit until the first reservation ends.
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 256}}, des::SimTime::seconds(500.0), des::SimTime::zero());
+  EXPECT_EQ(r.start, des::SimTime::seconds(1000.0));
+}
+
+TEST(CoallocationTest, SmallJobSlipsInBesideBigOne) {
+  BrokerFixture f;
+  f.broker.reserve({{f.t3e, 400}}, des::SimTime::seconds(1000.0),
+                   des::SimTime::zero());
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 100}}, des::SimTime::seconds(500.0), des::SimTime::zero());
+  EXPECT_EQ(r.start, des::SimTime::zero());  // 112 PEs still free
+}
+
+TEST(CoallocationTest, CoallocationGatedByBusiestMachine) {
+  BrokerFixture f;
+  // The Onyx2 is fully booked for the first hour.
+  f.broker.reserve({{f.onyx2, 12}}, des::SimTime::seconds(3600.0),
+                   des::SimTime::zero());
+  // An fMRI session needs T3E + Onyx2 simultaneously: must wait even
+  // though the T3E is idle.
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 256}, {f.onyx2, 8}}, des::SimTime::seconds(1800.0),
+      des::SimTime::zero());
+  EXPECT_EQ(r.start, des::SimTime::seconds(3600.0));
+}
+
+TEST(CoallocationTest, ReleaseFreesCapacity) {
+  BrokerFixture f;
+  const Reservation big = f.broker.reserve(
+      {{f.t3e, 512}}, des::SimTime::seconds(1000.0), des::SimTime::zero());
+  f.broker.release(big.id);
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 512}}, des::SimTime::seconds(100.0), des::SimTime::zero());
+  EXPECT_EQ(r.start, des::SimTime::zero());
+  EXPECT_EQ(f.broker.active_reservations(), 1u);
+}
+
+TEST(CoallocationTest, OversizedRequestThrows) {
+  BrokerFixture f;
+  EXPECT_THROW(f.broker.reserve({{f.onyx2, 13}}, des::SimTime::seconds(1.0),
+                                des::SimTime::zero()),
+               std::invalid_argument);
+  EXPECT_THROW(f.broker.reserve({{f.t3e, 0}}, des::SimTime::seconds(1.0),
+                                des::SimTime::zero()),
+               std::invalid_argument);
+}
+
+TEST(CoallocationTest, BackToBackWindowsDoNotConflict) {
+  BrokerFixture f;
+  f.broker.reserve({{f.t3e, 512}}, des::SimTime::seconds(100.0),
+                   des::SimTime::zero());
+  // A reservation starting exactly at the previous end fits (half-open
+  // intervals).
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 512}}, des::SimTime::seconds(100.0),
+      des::SimTime::seconds(100.0));
+  EXPECT_EQ(r.start, des::SimTime::seconds(100.0));
+}
+
+TEST(CoallocationTest, MidWindowCapacityDipDetected) {
+  BrokerFixture f;
+  // A short blocking reservation in the middle of the candidate window.
+  f.broker.reserve({{f.t3e, 400}}, des::SimTime::seconds(100.0),
+                   des::SimTime::seconds(500.0));
+  // A long 256-PE job starting at 0 would overlap [500, 600): must wait
+  // until 600.
+  const Reservation r = f.broker.reserve(
+      {{f.t3e, 256}}, des::SimTime::seconds(1000.0), des::SimTime::zero());
+  EXPECT_EQ(r.start, des::SimTime::seconds(600.0));
+}
+
+TEST(CoallocationTest, UtilisationAccounting) {
+  BrokerFixture f;
+  f.broker.reserve({{f.t3e, 256}}, des::SimTime::seconds(500.0),
+                   des::SimTime::zero());
+  // 256/512 PEs for half the [0, 1000) window = 25%.
+  EXPECT_NEAR(f.broker.utilisation(f.t3e, des::SimTime::zero(),
+                                   des::SimTime::seconds(1000.0)),
+              0.25, 1e-9);
+  EXPECT_NEAR(f.broker.utilisation(f.onyx2, des::SimTime::zero(),
+                                   des::SimTime::seconds(1000.0)),
+              0.0, 1e-9);
+}
+
+TEST(CoallocationTest, ClinicalSessionScenario) {
+  // The paper's outlook: routine clinical fMRI needs scanner + T3E +
+  // Onyx2 + workbench co-allocated.  Model a morning of sessions.
+  BrokerFixture f;
+  MachineSpec s;
+  s.name = "scanner";
+  s.max_pes = 1;
+  const int scanner = f.mc.add_machine(s);
+
+  std::vector<Reservation> sessions;
+  for (int i = 0; i < 4; ++i) {
+    sessions.push_back(f.broker.reserve(
+        {{scanner, 1}, {f.t3e, 256}, {f.onyx2, 8}},
+        des::SimTime::seconds(1800.0), des::SimTime::zero()));
+  }
+  // Scanner exclusivity serialises the sessions into consecutive slots.
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(sessions[static_cast<std::size_t>(i)].start,
+              sessions[static_cast<std::size_t>(i - 1)].end);
+  // T3E batch jobs can still use the other half of the machine.
+  const Reservation batch = f.broker.reserve(
+      {{f.t3e, 256}}, des::SimTime::seconds(7200.0), des::SimTime::zero());
+  EXPECT_EQ(batch.start, des::SimTime::zero());
+}
+
+}  // namespace
+}  // namespace gtw::meta

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/cocolib.hpp"
+#include "meta/communicator.hpp"
+#include "testbed/testbed.hpp"
+
+namespace gtw::apps::coco {
+namespace {
+
+TEST(InterfaceMeshTest, UniformSpansUnitInterval) {
+  const InterfaceMesh m = InterfaceMesh::uniform(11);
+  EXPECT_EQ(m.size(), 11u);
+  EXPECT_DOUBLE_EQ(m.nodes.front(), 0.0);
+  EXPECT_DOUBLE_EQ(m.nodes.back(), 1.0);
+  EXPECT_NEAR(m.nodes[5], 0.5, 1e-12);
+}
+
+TEST(TransferTest, IdentityOnMatchingMeshes) {
+  const InterfaceMesh m = InterfaceMesh::uniform(17);
+  std::vector<double> v(17);
+  for (std::size_t i = 0; i < 17; ++i) v[i] = std::sin(0.3 * i);
+  const auto out = transfer(v, m, m);
+  for (std::size_t i = 0; i < 17; ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(TransferTest, ExactForLinearFields) {
+  // Piecewise-linear interpolation reproduces a globally linear field on
+  // any target mesh.
+  const InterfaceMesh coarse = InterfaceMesh::uniform(5);
+  const InterfaceMesh fine = InterfaceMesh::uniform(33);
+  std::vector<double> v(coarse.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 3.0 * coarse.nodes[i] - 1.0;
+  const auto out = transfer(v, coarse, fine);
+  for (std::size_t i = 0; i < fine.size(); ++i)
+    EXPECT_NEAR(out[i], 3.0 * fine.nodes[i] - 1.0, 1e-12);
+}
+
+TEST(TransferTest, SizeMismatchThrows) {
+  const InterfaceMesh m = InterfaceMesh::uniform(5);
+  EXPECT_THROW(transfer(std::vector<double>(4), m, m),
+               std::invalid_argument);
+}
+
+TEST(ChannelFlowTest, UniformGapGivesLinearPressure) {
+  const InterfaceMesh m = InterfaceMesh::uniform(21);
+  ChannelFlow flow(m, ChannelConfig{1.0, 2.0, 0.0});
+  const std::vector<double> gap(21, 1.0);
+  const auto p = flow.pressure(gap);
+  EXPECT_NEAR(p.front(), 2.0, 1e-12);
+  EXPECT_NEAR(p.back(), 0.0, 1e-10);
+  EXPECT_NEAR(p[10], 1.0, 1e-10);  // linear drop at the midpoint
+}
+
+TEST(ChannelFlowTest, ConstrictionConcentratesPressureDrop) {
+  const InterfaceMesh m = InterfaceMesh::uniform(41);
+  ChannelFlow flow(m, ChannelConfig{1.0, 2.0, 0.0});
+  std::vector<double> gap(41, 1.0);
+  for (int i = 18; i <= 22; ++i) gap[static_cast<std::size_t>(i)] = 0.5;
+  const auto p = flow.pressure(gap);
+  // The pressure gradient inside the constriction (x~0.5) is much steeper
+  // than outside.
+  const double drop_inside = p[18] - p[22];
+  const double drop_outside = p[2] - p[6];
+  EXPECT_GT(drop_inside, 4.0 * drop_outside);
+}
+
+TEST(ChannelFlowTest, NarrowerChannelLessFlux) {
+  const InterfaceMesh m = InterfaceMesh::uniform(21);
+  ChannelFlow flow(m, ChannelConfig{1.0, 2.0, 0.0});
+  EXPECT_GT(flow.flux(std::vector<double>(21, 1.0)),
+            flow.flux(std::vector<double>(21, 0.7)));
+}
+
+TEST(ChannelFlowTest, ClosedGapThrows) {
+  const InterfaceMesh m = InterfaceMesh::uniform(5);
+  ChannelFlow flow(m, ChannelConfig{});
+  std::vector<double> gap(5, 1.0);
+  gap[2] = 0.0;
+  EXPECT_THROW(flow.pressure(gap), std::domain_error);
+}
+
+TEST(ElasticWallTest, UniformLoadSymmetricPeakAtCentre) {
+  const InterfaceMesh m = InterfaceMesh::uniform(41);
+  ElasticWall wall(m, WallConfig{4.0, 30.0});
+  const auto w = wall.deflection(std::vector<double>(41, 1.0));
+  EXPECT_DOUBLE_EQ(w.front(), 0.0);
+  EXPECT_DOUBLE_EQ(w.back(), 0.0);
+  EXPECT_GT(w[20], 0.0);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(w[i], w[40 - i], 1e-9);
+  EXPECT_GE(w[20], w[10]);
+}
+
+TEST(ElasticWallTest, StifferFoundationDeflectsLess) {
+  const InterfaceMesh m = InterfaceMesh::uniform(31);
+  const auto soft =
+      ElasticWall(m, WallConfig{4.0, 10.0}).deflection(std::vector<double>(31, 1.0));
+  const auto stiff =
+      ElasticWall(m, WallConfig{4.0, 100.0}).deflection(std::vector<double>(31, 1.0));
+  EXPECT_GT(soft[15], 2.0 * stiff[15]);
+}
+
+TEST(ElasticWallTest, LinearityInLoad) {
+  const InterfaceMesh m = InterfaceMesh::uniform(21);
+  ElasticWall wall(m, WallConfig{});
+  const auto w1 = wall.deflection(std::vector<double>(21, 1.0));
+  const auto w3 = wall.deflection(std::vector<double>(21, 3.0));
+  for (std::size_t i = 0; i < 21; ++i) EXPECT_NEAR(w3[i], 3.0 * w1[i], 1e-9);
+}
+
+TEST(FsiSerialTest, ConvergesToConsistentInterface) {
+  const InterfaceMesh fluid = InterfaceMesh::uniform(33);
+  const InterfaceMesh wall = InterfaceMesh::uniform(25);  // non-matching
+  const FsiResult res = couple_serial(fluid, wall, FsiConfig{});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.iterations, 150);
+  // Positive pressure pushes the wall outward everywhere inside.
+  for (std::size_t i = 1; i + 1 < res.deflection.size(); ++i)
+    EXPECT_GT(res.deflection[i], 0.0);
+  // The bulged wall widens the gap, so the flux exceeds the rigid-channel
+  // value.
+  ChannelFlow rigid(fluid, FsiConfig{}.channel);
+  EXPECT_GT(res.flux, rigid.flux(std::vector<double>(33, 1.0)));
+}
+
+TEST(FsiSerialTest, MeshResolutionInsensitive) {
+  const FsiResult coarse = couple_serial(InterfaceMesh::uniform(17),
+                                         InterfaceMesh::uniform(13),
+                                         FsiConfig{});
+  const FsiResult fine = couple_serial(InterfaceMesh::uniform(65),
+                                       InterfaceMesh::uniform(49),
+                                       FsiConfig{});
+  ASSERT_TRUE(coarse.converged);
+  ASSERT_TRUE(fine.converged);
+  // Peak deflections agree to discretisation accuracy.
+  const double peak_c =
+      *std::max_element(coarse.deflection.begin(), coarse.deflection.end());
+  const double peak_f =
+      *std::max_element(fine.deflection.begin(), fine.deflection.end());
+  EXPECT_NEAR(peak_c, peak_f, 0.15 * peak_f);
+}
+
+TEST(FsiDistributedTest, MatchesSerialAcrossTheTestbed) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  meta::Metacomputer mc(tb.scheduler());
+  meta::MachineSpec a;
+  a.name = "T3E (fluid)";
+  a.max_pes = 512;
+  a.frontend = &tb.t3e600();
+  meta::MachineSpec b;
+  b.name = "SP2 (structure)";
+  b.max_pes = 64;
+  b.frontend = &tb.sp2();
+  const int ma = mc.add_machine(a);
+  const int mb = mc.add_machine(b);
+  net::TcpConfig cfg;
+  cfg.mss = tb.options().atm_mtu - 40;
+  mc.link_machines(ma, mb, cfg, 7000);
+  auto comm = std::make_shared<meta::Communicator>(
+      mc, std::vector<meta::ProcLoc>{{ma, 0}, {mb, 0}});
+
+  const InterfaceMesh fluid = InterfaceMesh::uniform(33);
+  const InterfaceMesh wall = InterfaceMesh::uniform(25);
+  DistributedFsi dist(comm, fluid, wall, FsiConfig{});
+  dist.start();
+  tb.scheduler().run();
+
+  const FsiResult serial = couple_serial(fluid, wall, FsiConfig{});
+  const FsiResult& d = dist.result();
+  EXPECT_TRUE(d.converged);
+  EXPECT_EQ(d.iterations, serial.iterations);
+  ASSERT_EQ(d.deflection.size(), serial.deflection.size());
+  for (std::size_t i = 0; i < d.deflection.size(); ++i)
+    EXPECT_NEAR(d.deflection[i], serial.deflection[i], 1e-12);
+  EXPECT_GT(d.bytes_exchanged, 0u);
+  EXPECT_GT(d.elapsed_s, 0.0);  // iterations crossed the WAN
+}
+
+}  // namespace
+}  // namespace gtw::apps::coco

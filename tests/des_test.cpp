@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/scheduler.hpp"
+#include "des/stats.hpp"
+#include "des/time.hpp"
+
+namespace gtw::des {
+namespace {
+
+TEST(SimTimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::seconds(1.0).ps(), 1'000'000'000'000LL);
+  EXPECT_EQ(SimTime::milliseconds(3).ps(), 3'000'000'000LL);
+  EXPECT_EQ(SimTime::microseconds(7).ps(), 7'000'000LL);
+  EXPECT_EQ(SimTime::nanoseconds(9).ps(), 9'000LL);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2.5).sec(), 2.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::milliseconds(2);
+  const SimTime b = SimTime::microseconds(500);
+  EXPECT_EQ((a + b).us(), 2500.0);
+  EXPECT_EQ((a - b).us(), 1500.0);
+  EXPECT_EQ((b * 4).ms(), 2.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTimeTest, TransmissionTimeExactForAtmCell) {
+  // One ATM cell at 622.08 Mbit/s: 53*8/622.08e6 s = 681.58.. ns.
+  const SimTime t = transmission_time(53, 622.08e6);
+  EXPECT_NEAR(t.ns(), 681.58, 0.01);
+}
+
+TEST(SimTimeTest, TransmissionTimeRoundsUp) {
+  // Never runs ahead of the wire: ceil to next picosecond.
+  const SimTime t = transmission_time(1, 8e12);  // exactly 1 ps
+  EXPECT_EQ(t.ps(), 1);
+  const SimTime t2 = transmission_time(1, 9e12);  // 0.888.. ps -> 1
+  EXPECT_EQ(t2.ps(), 1);
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime::milliseconds(3), [&] { order.push_back(3); });
+  sched.schedule_at(SimTime::milliseconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::milliseconds(2), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), SimTime::milliseconds(3));
+}
+
+TEST(SchedulerTest, FifoAtEqualTimestamps) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sched.schedule_at(SimTime::milliseconds(5), [&order, i] { order.push_back(i); });
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, NestedScheduling) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_after(SimTime::seconds(1.0), [&] {
+    ++fired;
+    sched.schedule_after(SimTime::seconds(1.0), [&] { ++fired; });
+  });
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), SimTime::seconds(2.0));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle h = sched.schedule_after(SimTime::seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerTest, CancelAfterFireIsNoop) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_after(SimTime::seconds(1.0), [] {});
+  sched.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(SchedulerTest, HorizonStopsRun) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(SimTime::seconds(1.0), [&] { ++fired; });
+  sched.schedule_at(SimTime::seconds(3.0), [&] { ++fired; });
+  sched.run(SimTime::seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), SimTime::seconds(2.0));
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Scheduler sched;
+    Rng rng(42);
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 100; ++i) {
+      sched.schedule_after(SimTime::seconds(rng.uniform()), [&times, &sched] {
+        times.push_back(sched.now().ps());
+      });
+    }
+    sched.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng a(7);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedCoarse) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.exponential(2.5));
+  EXPECT_NEAR(st.mean(), 2.5, 0.05);
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats st;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) st.add(x);
+  EXPECT_EQ(st.count(), 4u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 4.0);
+  EXPECT_NEAR(st.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, HistogramQuantiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(StatsTest, HistogramOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(11.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(StatsTest, TimeWeightedAverage) {
+  TimeWeighted tw;
+  tw.update(SimTime::seconds(0.0), 10.0);
+  tw.update(SimTime::seconds(1.0), 20.0);
+  // 1 s at 10, 1 s at 20 -> average 15 over [0, 2].
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(2.0)), 15.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 20.0);
+}
+
+}  // namespace
+}  // namespace gtw::des

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/moldyn.hpp"
+#include "apps/traffic.hpp"
+#include "apps/video.hpp"
+#include "meta/communicator.hpp"
+#include "testbed/extensions.hpp"
+
+namespace gtw {
+namespace {
+
+TEST(ExtendedTestbedTest, AddsThreeSites) {
+  testbed::ExtendedTestbed tb;
+  EXPECT_EQ(tb.hosts().size(), 15u);  // 12 base + DLR + Cologne + Bonn
+  EXPECT_TRUE(tb.hosts().contains("dlr_traffic"));
+  EXPECT_TRUE(tb.hosts().contains("cologne_viz"));
+  EXPECT_TRUE(tb.hosts().contains("bonn_md"));
+}
+
+TEST(ExtendedTestbedTest, NewSitesReachEverything) {
+  testbed::ExtendedTestbed tb;
+  int expected = 0, received = 0;
+  for (net::Host* src : {&tb.dlr_traffic(), &tb.cologne_viz(), &tb.bonn_md()}) {
+    for (const auto& [name, dst] : tb.hosts()) {
+      if (dst == src) continue;
+      ++expected;
+      dst->bind(net::IpProto::kUdp, 61,
+                [&received](const net::IpPacket&) { ++received; });
+      net::IpPacket pkt;
+      pkt.dst = dst->id();
+      pkt.proto = net::IpProto::kUdp;
+      pkt.dst_port = 61;
+      pkt.total_bytes = 500;
+      src->send_datagram(std::move(pkt));
+      tb.scheduler().run();
+      dst->unbind(net::IpProto::kUdp, 61);
+      // And the reverse direction.
+      ++expected;
+      src->bind(net::IpProto::kUdp, 61,
+                [&received](const net::IpPacket&) { ++received; });
+      net::IpPacket back;
+      back.dst = src->id();
+      back.proto = net::IpProto::kUdp;
+      back.dst_port = 61;
+      back.total_bytes = 500;
+      dst->send_datagram(std::move(back));
+      tb.scheduler().run();
+      src->unbind(net::IpProto::kUdp, 61);
+    }
+  }
+  EXPECT_EQ(received, expected);
+}
+
+TEST(ExtendedTestbedTest, SiteToSiteGoesThroughGmd) {
+  testbed::ExtendedTestbed tb;
+  bool got = false;
+  tb.cologne_viz().bind(net::IpProto::kUdp, 62,
+                        [&](const net::IpPacket&) { got = true; });
+  net::IpPacket pkt;
+  pkt.dst = tb.cologne_viz().id();
+  pkt.proto = net::IpProto::kUdp;
+  pkt.dst_port = 62;
+  pkt.total_bytes = 2000;
+  tb.dlr_traffic().send_datagram(std::move(pkt));
+  tb.scheduler().run();
+  EXPECT_TRUE(got);
+}
+
+// --- NaSch traffic CA --------------------------------------------------------
+
+TEST(NaschTest, VehicleCountConserved) {
+  apps::NaschConfig cfg;
+  cfg.cells = 200;
+  cfg.density = 0.2;
+  apps::NaschRoad road(cfg);
+  const int n0 = road.vehicles();
+  for (int s = 0; s < 100; ++s) road.step();
+  EXPECT_EQ(road.vehicles(), n0);
+  // No two vehicles share a cell.
+  const auto occ = road.occupancy();
+  int occupied = 0;
+  for (auto c : occ)
+    if (c) ++occupied;
+  EXPECT_EQ(occupied, n0);
+}
+
+TEST(NaschTest, FreeFlowAtLowDensity) {
+  // Almost empty road, no dawdling: everyone reaches v_max.
+  apps::NaschConfig cfg;
+  cfg.cells = 500;
+  cfg.density = 0.02;
+  cfg.dawdle_p = 0.0;
+  apps::NaschRoad road(cfg);
+  for (int s = 0; s < 50; ++s) road.step();
+  EXPECT_NEAR(road.mean_speed(), 5.0, 1e-9);
+}
+
+TEST(NaschTest, JammedAtHighDensity) {
+  apps::NaschConfig cfg;
+  cfg.cells = 500;
+  cfg.density = 0.6;
+  apps::NaschRoad road(cfg);
+  for (int s = 0; s < 200; ++s) road.step();
+  EXPECT_LT(road.mean_speed(), 1.0);
+}
+
+TEST(NaschTest, FundamentalDiagramHasMaximum) {
+  // Flow rises with density in free flow, falls in the jammed branch.
+  const double f_low = apps::nasch_flow(0.05);
+  const double f_mid = apps::nasch_flow(0.12);
+  const double f_high = apps::nasch_flow(0.5);
+  EXPECT_GT(f_mid, f_low);
+  EXPECT_GT(f_mid, f_high);
+  EXPECT_GT(f_high, 0.0);
+}
+
+TEST(NaschTest, DawdlingReducesFlow) {
+  apps::NaschConfig a;
+  const double with = apps::nasch_flow(0.12);
+  (void)a;
+  // Same density, no dawdling: strictly better flow.
+  apps::NaschConfig cfg;
+  cfg.cells = 1000;
+  cfg.density = 0.12;
+  cfg.dawdle_p = 0.0;
+  apps::NaschRoad road(cfg);
+  for (int s = 0; s < 200; ++s) road.step();
+  const double before = road.flow() * road.steps();
+  for (int s = 0; s < 400; ++s) road.step();
+  const double without = (road.flow() * road.steps() - before) / 400;
+  EXPECT_GT(without, with);
+}
+
+TEST(TrafficVizTest, StreamsFramesAcrossExtendedTestbed) {
+  testbed::ExtendedTestbed tb;
+  apps::NaschConfig cfg;
+  cfg.cells = 2000;
+  apps::DistributedTrafficViz run(tb.dlr_traffic(), tb.cologne_viz(), cfg,
+                                  /*steps=*/40);
+  run.start();
+  tb.scheduler().run();
+  const auto& res = run.result();
+  EXPECT_EQ(res.steps_simulated, 40);
+  EXPECT_EQ(res.frames_delivered, 40u);
+  EXPECT_EQ(res.frame_bytes, 2000u);
+  EXPECT_GT(res.frames_per_s, 5.0);  // 100 ms cadence -> ~10 fps
+}
+
+// --- Lennard-Jones multiscale MD ---------------------------------------------
+
+TEST(LjFluidTest, EnergyConservedWithoutThermostat) {
+  apps::LjConfig cfg;
+  cfg.n_particles = 100;
+  cfg.box = 20.0;
+  apps::LjFluid fluid(cfg);
+  const double e0 = fluid.total_energy();
+  for (int s = 0; s < 200; ++s) fluid.step();
+  const double e1 = fluid.total_energy();
+  EXPECT_LT(std::abs(e1 - e0) / std::max(std::abs(e0), 1.0), 0.05);
+}
+
+TEST(LjFluidTest, ThermostatDrivesTemperature) {
+  apps::LjConfig cfg;
+  cfg.n_particles = 100;
+  cfg.box = 20.0;
+  cfg.temperature = 1.2;
+  apps::LjFluid fluid(cfg);
+  for (int i = 0; i < 100; ++i) {
+    fluid.step();
+    fluid.thermostat(0.4, 0.3);
+  }
+  EXPECT_NEAR(fluid.temperature(), 0.4, 0.15);
+}
+
+TEST(LjFluidTest, DensityProfileSumsToN) {
+  apps::LjConfig cfg;
+  cfg.n_particles = 144;
+  apps::LjFluid fluid(cfg);
+  const auto prof = fluid.density_profile(12);
+  double total = 0.0;
+  const double strip_area = (cfg.box / 12) * cfg.box;
+  for (double d : prof) total += d * strip_area;
+  EXPECT_NEAR(total, 144.0, 1e-9);
+}
+
+TEST(LjFluidTest, PressureSanityNoExplosion) {
+  apps::LjConfig cfg;
+  cfg.n_particles = 200;
+  cfg.box = 25.0;
+  apps::LjFluid fluid(cfg);
+  for (int s = 0; s < 300; ++s) fluid.step();
+  // Velocities stay finite and temperature in a physical band.
+  EXPECT_GT(fluid.temperature(), 0.0);
+  EXPECT_LT(fluid.temperature(), 10.0);
+}
+
+struct BonnFixture {
+  testbed::ExtendedTestbed tb;
+  meta::Metacomputer mc{tb.scheduler()};
+  int m_bonn, m_gmd;
+
+  BonnFixture() {
+    meta::MachineSpec bonn;
+    bonn.name = "Bonn-cluster";
+    bonn.max_pes = 32;
+    bonn.frontend = &tb.bonn_md();
+    meta::MachineSpec gmd;
+    gmd.name = "GMD-E500";
+    gmd.max_pes = 8;
+    gmd.frontend = &tb.e500();
+    m_bonn = mc.add_machine(bonn);
+    m_gmd = mc.add_machine(gmd);
+    net::TcpConfig cfg;
+    cfg.mss = tb.options().atm_mtu - 40;
+    mc.link_machines(m_bonn, m_gmd, cfg, 7400);
+  }
+};
+
+TEST(MultiscaleMdTest, CoupledRunCoolsTowardCoarseTarget) {
+  BonnFixture f;
+  apps::LjConfig cfg;
+  cfg.n_particles = 100;
+  cfg.box = 20.0;
+  cfg.temperature = 1.0;
+  auto comm = std::make_shared<meta::Communicator>(
+      f.mc, std::vector<meta::ProcLoc>{{f.m_bonn, 0}, {f.m_gmd, 0}});
+  apps::MultiscaleMd run(comm, cfg, /*coupling_steps=*/30,
+                         /*md_per_coupling=*/5, /*coarse_target_t=*/0.5);
+  run.start();
+  f.tb.scheduler().run();
+  const auto& res = run.result();
+  EXPECT_EQ(res.steps_completed, 30);
+  EXPECT_NEAR(res.final_temperature, 0.5, 0.25);
+  EXPECT_GT(res.mean_exchange_ms, 0.3);   // really crossed the Bonn link
+  EXPECT_LT(res.mean_exchange_ms, 50.0);
+}
+
+TEST(TvProductionTest, TwoD1StreamsFitTheDarkFibre) {
+  // Section 5's "distributed virtual TV-production" needs multiple studio
+  // streams; two D1 feeds (2 x 270 Mbit/s) from Cologne and the DLR into
+  // the GMD compositing host share the dark fibre comfortably.
+  testbed::ExtendedTestbed tb;
+  apps::D1VideoConfig cfg;
+  cfg.frames = 100;
+  apps::D1VideoSession feed_a(tb.cologne_viz(), tb.e500(), cfg, 7500);
+  apps::D1VideoSession feed_b(tb.dlr_traffic(), tb.e500(), cfg, 7600);
+  feed_a.start();
+  feed_b.start();
+  tb.scheduler().run();
+  EXPECT_TRUE(feed_a.report().feasible);
+  EXPECT_TRUE(feed_b.report().feasible);
+}
+
+}  // namespace
+}  // namespace gtw

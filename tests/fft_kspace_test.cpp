@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/random.hpp"
+#include "linalg/fft.hpp"
+#include "fire/correlation.hpp"
+#include "fire/reference.hpp"
+#include "scanner/kspace.hpp"
+#include "scanner/phantom.hpp"
+
+namespace gtw {
+namespace {
+
+using linalg::Complex;
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(6);
+  EXPECT_THROW(linalg::fft(v, false), std::invalid_argument);
+  EXPECT_TRUE(linalg::is_power_of_two(64));
+  EXPECT_FALSE(linalg::is_power_of_two(0));
+  EXPECT_FALSE(linalg::is_power_of_two(48));
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const int n = GetParam();
+  des::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<Complex> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = Complex(rng.normal(), rng.normal());
+  const std::vector<Complex> orig = v;
+  linalg::fft(v, false);
+  linalg::fft(v, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 8, 64, 256, 1024));
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  std::vector<Complex> v(16, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  linalg::fft(v, false);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneHasSingleBin) {
+  const int n = 64, k = 5;
+  std::vector<Complex> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] =
+        Complex(std::cos(2.0 * M_PI * k * i / n),
+                std::sin(2.0 * M_PI * k * i / n));
+  linalg::fft(v, false);
+  for (int i = 0; i < n; ++i) {
+    const double mag = std::abs(v[static_cast<std::size_t>(i)]);
+    if (i == k) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  des::Rng rng(9);
+  std::vector<Complex> v(128);
+  double time_energy = 0.0;
+  for (auto& x : v) {
+    x = Complex(rng.normal(), rng.normal());
+    time_energy += std::norm(x);
+  }
+  linalg::fft(v, false);
+  double freq_energy = 0.0;
+  for (const auto& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-6 * freq_energy);
+}
+
+TEST(Fft2dTest, RoundTrip) {
+  des::Rng rng(4);
+  const int nx = 16, ny = 8;
+  std::vector<Complex> v(static_cast<std::size_t>(nx) * ny);
+  for (auto& x : v) x = Complex(rng.normal(), 0.0);
+  const auto orig = v;
+  linalg::fft2d(v, nx, ny, false);
+  linalg::fft2d(v, nx, ny, true);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-9);
+}
+
+TEST(KspaceTest, NoiselessAcquisitionIsLossless) {
+  const fire::VolumeF head = scanner::make_head_phantom({32, 32, 4});
+  des::Rng rng(1);
+  const fire::VolumeF recon =
+      scanner::acquire_and_reconstruct(head, 0.0, rng);
+  for (std::size_t i = 0; i < head.size(); ++i)
+    EXPECT_NEAR(recon[i], head[i], 1e-3);
+}
+
+TEST(KspaceTest, NoiseLevelMapsToImageDomain) {
+  // sigma in k-space (scaled as implemented) should give ~sigma of noise
+  // per image voxel after reconstruction.
+  const fire::Dims d{32, 32, 2};
+  const fire::VolumeF zero(d, 0.0f);
+  des::Rng rng(2);
+  const double sigma = 5.0;
+  const fire::VolumeF recon =
+      scanner::acquire_and_reconstruct(zero, sigma, rng);
+  // Magnitude of complex Gaussian noise: Rayleigh with mean sigma*sqrt(pi/2).
+  double mean = 0.0;
+  for (std::size_t i = 0; i < recon.size(); ++i) mean += recon[i];
+  mean /= static_cast<double>(recon.size());
+  EXPECT_NEAR(mean, sigma * std::sqrt(M_PI / 2.0), sigma * 0.15);
+}
+
+TEST(KspaceTest, ActivationSurvivesTheScannerChain) {
+  // BOLD-scale signal differences pass through acquisition+reconstruction.
+  const fire::Dims d{32, 32, 2};
+  fire::VolumeF base = scanner::make_head_phantom(d);
+  fire::VolumeF active = base;
+  active.at(10, 20, 1) *= 1.05f;  // 5% BOLD change
+  des::Rng rng_a(3), rng_b(3);    // same receiver noise
+  const fire::VolumeF ra = scanner::acquire_and_reconstruct(base, 1.0, rng_a);
+  const fire::VolumeF rb =
+      scanner::acquire_and_reconstruct(active, 1.0, rng_b);
+  const double diff = rb.at(10, 20, 1) - ra.at(10, 20, 1);
+  EXPECT_NEAR(diff, 0.05 * base.at(10, 20, 1), 4.0);
+}
+
+TEST(KspaceTest, RawKspaceBytesAreTwiceImageBytes) {
+  // The "advanced MR imaging techniques ... an order of magnitude beyond"
+  // scenario: raw complex data doubles the 16-bit image volume, and
+  // multi-echo acquisition multiplies it further.
+  const fire::Dims d{64, 64, 16};
+  EXPECT_EQ(scanner::kspace_bytes(d), 2u * 4u * d.voxels());
+}
+
+TEST(KspaceTest, NonPowerOfTwoRejected) {
+  const fire::VolumeF odd(fire::Dims{48, 48, 2});
+  des::Rng rng(1);
+  EXPECT_THROW(scanner::acquire_kspace_slice(odd, 0, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(KspaceTest, GeneratorKspaceModeStillShowsActivation) {
+  // Full-chain property: BOLD activation survives EPI acquisition through
+  // k-space with receiver noise, and the correlation analysis finds it.
+  scanner::FmriConfig cfg;
+  cfg.dims = {32, 32, 4};
+  cfg.regions = {{9, 20, 2, 3.0, 0.06}};
+  cfg.noise_sigma = 2.0;
+  cfg.expected_scans = 40;
+  cfg.kspace_acquisition = true;
+  scanner::FmriSeriesGenerator gen(cfg);
+
+  fire::IncrementalCorrelation corr(cfg.dims);
+  const auto ref = fire::make_reference(cfg.stimulus, 40, cfg.tr_s, cfg.hrf);
+  for (int t = 0; t < 40; ++t)
+    corr.add_scan(gen.acquire(t), ref[static_cast<std::size_t>(t)]);
+
+  const fire::VolumeF map = corr.correlation_map();
+  const auto mask = gen.activation_mask();
+  double active = 0;
+  int na = 0;
+  for (std::size_t i = 0; i < map.size(); ++i)
+    if (mask[i]) {
+      active += map[i];
+      ++na;
+    }
+  EXPECT_GT(active / na, 0.3);
+}
+
+}  // namespace
+}  // namespace gtw

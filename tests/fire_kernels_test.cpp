@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "des/random.hpp"
+#include "fire/correlation.hpp"
+#include "fire/detrend.hpp"
+#include "fire/filters.hpp"
+#include "fire/motion.hpp"
+#include "fire/reference.hpp"
+#include "fire/rigid.hpp"
+#include "fire/rvo.hpp"
+#include "fire/volume.hpp"
+#include "scanner/phantom.hpp"
+
+namespace gtw::fire {
+namespace {
+
+TEST(VolumeTest, IndexingRoundTrip) {
+  VolumeF v(4, 3, 2);
+  float k = 0;
+  for (int z = 0; z < 2; ++z)
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 4; ++x) v.at(x, y, z) = k++;
+  EXPECT_EQ(v.size(), 24u);
+  EXPECT_FLOAT_EQ(v.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(v.at(3, 2, 1), 23.0f);
+  EXPECT_FLOAT_EQ(v[23], 23.0f);
+}
+
+TEST(VolumeTest, ClampedReadsEdge) {
+  VolumeF v(2, 2, 2, 5.0f);
+  v.at(0, 0, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(v.clamped(-3, -3, -3), 1.0f);
+  EXPECT_FLOAT_EQ(v.clamped(9, 9, 9), 5.0f);
+}
+
+TEST(VolumeTest, TrilinearInterpolation) {
+  VolumeF v(2, 2, 2);
+  v.at(1, 0, 0) = 10.0f;
+  // Midpoint between (0,0,0)=0 and (1,0,0)=10.
+  EXPECT_NEAR(v.sample(0.5, 0.0, 0.0), 5.0, 1e-9);
+  // At a lattice point, exact.
+  EXPECT_NEAR(v.sample(1.0, 0.0, 0.0), 10.0, 1e-9);
+}
+
+TEST(MedianFilterTest, RemovesImpulseNoise) {
+  VolumeF v(9, 9, 3, 100.0f);
+  v.at(4, 4, 1) = 10000.0f;  // hot pixel
+  const VolumeF out = median_filter_3x3(v);
+  EXPECT_FLOAT_EQ(out.at(4, 4, 1), 100.0f);
+}
+
+TEST(MedianFilterTest, ConstantImageFixedPoint) {
+  VolumeF v(8, 8, 2, 42.0f);
+  const VolumeF out = median_filter_3x3(v);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_FLOAT_EQ(out[i], 42.0f);
+}
+
+TEST(AverageFilterTest, PreservesMeanOfConstant) {
+  VolumeF v(6, 6, 6, 7.0f);
+  const VolumeF out = average_filter_3x3x3(v);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], 7.0f, 1e-5);
+}
+
+TEST(AverageFilterTest, SmoothsAStep) {
+  VolumeF v(8, 4, 4, 0.0f);
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 4; ++y)
+      for (int x = 4; x < 8; ++x) v.at(x, y, z) = 90.0f;
+  const VolumeF out = average_filter_3x3x3(v);
+  // On the boundary the value is between the two plateaus.
+  EXPECT_GT(out.at(4, 2, 2), 10.0f);
+  EXPECT_LT(out.at(4, 2, 2), 80.0f);
+}
+
+TEST(ReferenceTest, HrfKernelIsNormalisedAndPeaksNearDelay) {
+  const auto h = hrf_kernel(HrfParams{6.0, 2.0}, 0.1);
+  const double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  const auto peak = std::max_element(h.begin(), h.end());
+  const double t_peak = (std::distance(h.begin(), peak) + 0.5) * 0.1;
+  EXPECT_NEAR(t_peak, 6.0, 1.0);
+}
+
+TEST(ReferenceTest, ReferenceIsZNormalised) {
+  StimulusDesign stim{10, 10};
+  const auto r = make_reference(stim, 100, 2.0, HrfParams{});
+  double mean = std::accumulate(r.begin(), r.end(), 0.0) / 100.0;
+  double var = 0;
+  for (double x : r) var += (x - mean) * (x - mean);
+  var /= 100.0;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-9);
+}
+
+TEST(ReferenceTest, ReferenceLagsStimulus) {
+  StimulusDesign stim{10, 10};
+  const auto s = stim.series(60);
+  const auto r = make_reference(stim, 60, 2.0, HrfParams{6.0, 2.0});
+  // The hemodynamic delay shifts the response: correlation of the reference
+  // with a lagged stimulus beats correlation with the instantaneous one.
+  auto corr_at_lag = [&](int lag) {
+    linalg::Vector a, b;
+    for (int i = lag; i < 60; ++i) {
+      a.push_back(s[static_cast<std::size_t>(i - lag)]);
+      b.push_back(r[static_cast<std::size_t>(i)]);
+    }
+    return linalg::pearson(a, b);
+  };
+  EXPECT_GT(corr_at_lag(3), corr_at_lag(0));  // 3 scans x 2 s = 6 s lag
+}
+
+TEST(ZNormaliseTest, ZeroVarianceBecomesZeros) {
+  std::vector<double> v{5.0, 5.0, 5.0};
+  z_normalise(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(IncrementalCorrelationTest, DetectsPerfectlyCorrelatedVoxel) {
+  const Dims d{4, 4, 2};
+  IncrementalCorrelation corr(d);
+  StimulusDesign stim{5, 5};
+  const auto ref = make_reference(stim, 40, 2.0, HrfParams{});
+  des::Rng rng(3);
+  for (int t = 0; t < 40; ++t) {
+    VolumeF img(d);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img[i] = static_cast<float>(rng.normal(100.0, 1.0));
+    img.at(0, 0, 0) = static_cast<float>(
+        100.0 + 10.0 * ref[static_cast<std::size_t>(t)]);  // driven voxel
+    corr.add_scan(img, ref[static_cast<std::size_t>(t)]);
+  }
+  const VolumeF map = corr.correlation_map();
+  EXPECT_GT(map.at(0, 0, 0), 0.99f);
+  // A noise voxel stays low.
+  EXPECT_LT(std::abs(map.at(3, 3, 1)), 0.5f);
+}
+
+TEST(IncrementalCorrelationTest, BoundedByOne) {
+  const Dims d{2, 2, 1};
+  IncrementalCorrelation corr(d);
+  des::Rng rng(5);
+  for (int t = 0; t < 30; ++t) {
+    VolumeF img(d);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img[i] = static_cast<float>(rng.normal());
+    corr.add_scan(img, rng.normal());
+  }
+  const VolumeF map = corr.correlation_map();
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    EXPECT_LE(map[i], 1.0f);
+    EXPECT_GE(map[i], -1.0f);
+  }
+}
+
+TEST(IncrementalCorrelationTest, AffineInvariance) {
+  // r is invariant to per-voxel affine rescaling of the signal.
+  const Dims d{1, 1, 1};
+  IncrementalCorrelation a(d), b(d);
+  des::Rng rng(7);
+  for (int t = 0; t < 25; ++t) {
+    const double y = rng.normal();
+    const double x = 0.8 * y + 0.2 * rng.normal();
+    VolumeF va(d), vb(d);
+    va[0] = static_cast<float>(x);
+    vb[0] = static_cast<float>(5.0 * x + 300.0);
+    a.add_scan(va, y);
+    b.add_scan(vb, y);
+  }
+  EXPECT_NEAR(a.correlation_at(0), b.correlation_at(0), 1e-5);
+}
+
+TEST(DetrendTest, RemovesLinearDrift) {
+  const Dims d{3, 3, 1};
+  IncrementalDetrend det(d, DetrendConfig{1, false, 50});
+  double last_residual = 1e9;
+  for (int t = 0; t < 50; ++t) {
+    VolumeF img(d);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img[i] = static_cast<float>(100.0 + 2.5 * t);  // pure drift
+    const VolumeF out = det.add_scan(img);
+    last_residual = out[0];
+  }
+  EXPECT_NEAR(last_residual, 0.0, 1e-3);
+}
+
+TEST(DetrendTest, RemovesCosineDrift) {
+  const Dims d{2, 2, 1};
+  IncrementalDetrend det(d, DetrendConfig{1, true, 64});
+  double residual_sum = 0.0;
+  for (int t = 0; t < 64; ++t) {
+    VolumeF img(d);
+    const double u = t / 63.0;
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img[i] = static_cast<float>(50.0 + 8.0 * std::cos(M_PI * u));
+    const VolumeF out = det.add_scan(img);
+    if (t > 10) residual_sum += std::abs(out[0]);
+  }
+  EXPECT_LT(residual_sum / 53.0, 0.05);
+}
+
+TEST(DetrendTest, PreservesStimulusLockedSignalUnderDrift) {
+  // Under a strong baseline drift, detrending must clearly improve the
+  // correlation with the reference relative to the raw signal (causal
+  // streaming detrending distorts the first cycles, so the comparison —
+  // not perfection — is the invariant).
+  const Dims d{1, 1, 1};
+  StimulusDesign stim{8, 8};
+  const auto ref = make_reference(stim, 96, 2.0, HrfParams{});
+  IncrementalDetrend det(d, DetrendConfig{1, true, 96});
+  IncrementalCorrelation corr_det(d), corr_raw(d);
+  for (int t = 0; t < 96; ++t) {
+    VolumeF img(d);
+    img[0] = static_cast<float>(200.0 + 30.0 * t / 95.0 +
+                                5.0 * ref[static_cast<std::size_t>(t)]);
+    corr_raw.add_scan(img, ref[static_cast<std::size_t>(t)]);
+    corr_det.add_scan(det.add_scan(img), ref[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_GT(corr_det.correlation_at(0), 0.6);
+  EXPECT_GT(corr_det.correlation_at(0), corr_raw.correlation_at(0) + 0.05);
+}
+
+TEST(RigidTest, IdentityTransformIsNoop) {
+  const VolumeF v = scanner::make_head_phantom(Dims{16, 16, 8});
+  const VolumeF out = resample(v, RigidTransform{});
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(out[i], v[i], 1e-4);
+}
+
+TEST(RigidTest, TranslationShiftsContent) {
+  VolumeF v(8, 8, 4, 0.0f);
+  v.at(4, 4, 2) = 100.0f;
+  RigidTransform t;
+  t.tx = 1.0;  // output voxel x reads source x+1
+  const VolumeF out = resample(v, t);
+  EXPECT_NEAR(out.at(3, 4, 2), 100.0f, 1e-3);
+}
+
+TEST(RigidTest, InverseApproxUndoesSmallMotion) {
+  const VolumeF v = scanner::make_head_phantom(Dims{24, 24, 12});
+  RigidTransform t{0.6, -0.4, 0.2, 0.01, -0.015, 0.02};
+  // Geometric property: composing the transform with its first-order
+  // inverse moves points by at most O(|theta|^2 * radius).
+  const Dims d = v.dims();
+  const double cx = (d.nx - 1) / 2.0, cy = (d.ny - 1) / 2.0,
+               cz = (d.nz - 1) / 2.0;
+  const RigidTransform inv = t.inverse_approx();
+  double worst = 0.0;
+  for (int z = 0; z < d.nz; z += 3) {
+    for (int y = 0; y < d.ny; y += 4) {
+      for (int x = 0; x < d.nx; x += 4) {
+        double mx, my, mz, bx, by, bz;
+        t.apply(cx, cy, cz, x, y, z, mx, my, mz);
+        inv.apply(cx, cy, cz, mx, my, mz, bx, by, bz);
+        const double err = std::sqrt((bx - x) * (bx - x) +
+                                     (by - y) * (by - y) +
+                                     (bz - z) * (bz - z));
+        worst = std::max(worst, err);
+      }
+    }
+  }
+  EXPECT_LT(worst, 0.05);  // ~ (0.02 rad)^2 * 17 voxel radius
+}
+
+TEST(MotionTest, RecoversInjectedTranslation) {
+  const VolumeF ref = scanner::make_head_phantom(Dims{32, 32, 12});
+  RigidTransform injected;
+  injected.tx = 0.8;
+  injected.ty = -0.5;
+  const VolumeF moved = resample(ref, injected);
+
+  MotionCorrector mc(ref);
+  const MotionResult res = mc.correct(moved);
+  // The estimate aligns `moved` back to `ref`, i.e. ~ inverse of injected.
+  EXPECT_NEAR(res.estimate.tx, -0.8, 0.1);
+  EXPECT_NEAR(res.estimate.ty, 0.5, 0.1);
+  EXPECT_LT(res.final_rmse, res.initial_rmse * 0.3);
+}
+
+TEST(MotionTest, RecoversInjectedRotation) {
+  const VolumeF ref = scanner::make_head_phantom(Dims{32, 32, 12});
+  RigidTransform injected;
+  injected.rz = 0.03;  // ~1.7 degrees
+  const VolumeF moved = resample(ref, injected);
+  MotionCorrector mc(ref);
+  const MotionResult res = mc.correct(moved);
+  EXPECT_NEAR(res.estimate.rz, -0.03, 0.01);
+  EXPECT_LT(std::abs(res.estimate.tx), 0.2);
+}
+
+TEST(MotionTest, IdentityInputYieldsNearZeroEstimate) {
+  const VolumeF ref = scanner::make_head_phantom(Dims{24, 24, 8});
+  MotionCorrector mc(ref);
+  const MotionResult res = mc.correct(ref);
+  EXPECT_LT(res.estimate.max_abs(), 1e-3);
+}
+
+TEST(RvoTest, RecoversGroundTruthDelay) {
+  // One voxel driven by an HRF with delay 7.5 s; RVO's raster must pick a
+  // delay near it and beat the default-delay correlation.
+  const Dims d{4, 4, 1};
+  StimulusDesign stim{8, 8};
+  const double tr = 2.0;
+  const HrfParams truth{7.5, 2.0};
+  const auto resp = make_reference(stim, 64, tr, truth);
+
+  std::vector<VolumeF> series;
+  des::Rng rng(11);
+  for (int t = 0; t < 64; ++t) {
+    VolumeF img(d, 100.0f);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      img[i] += static_cast<float>(rng.normal(0.0, 0.3));
+    img.at(1, 1, 0) = static_cast<float>(
+        100.0 + 5.0 * resp[static_cast<std::size_t>(t)]);
+    series.push_back(img);
+  }
+
+  RvoConfig cfg;
+  cfg.delay_steps = 13;
+  cfg.disp_steps = 7;
+  RvoAnalyzer rvo(d, stim, tr, cfg);
+  const RvoResult res = rvo.analyze(series);
+  const std::size_t idx = 1 * 4 + 1;
+  EXPECT_GT(res.fits[idx].best_correlation, 0.95f);
+  EXPECT_NEAR(res.fits[idx].delay_s, 7.5, 1.0);
+}
+
+TEST(RvoTest, CoarseRefineFindsSameOptimumWithFewerEvaluations) {
+  const Dims d{4, 4, 1};
+  StimulusDesign stim{8, 8};
+  const double tr = 2.0;
+  const auto resp = make_reference(stim, 48, tr, HrfParams{5.0, 1.5});
+  std::vector<VolumeF> series;
+  for (int t = 0; t < 48; ++t) {
+    VolumeF img(d, 100.0f);
+    img.at(2, 2, 0) = static_cast<float>(
+        100.0 + 4.0 * resp[static_cast<std::size_t>(t)]);
+    series.push_back(img);
+  }
+
+  RvoConfig full;
+  full.delay_steps = 12;
+  full.disp_steps = 12;
+  RvoConfig coarse = full;
+  coarse.mode = RvoMode::kCoarseRefine;
+
+  const RvoResult rf = RvoAnalyzer(d, stim, tr, full).analyze(series);
+  const RvoResult rc = RvoAnalyzer(d, stim, tr, coarse).analyze(series);
+  const std::size_t idx = 2 * 4 + 2;
+  EXPECT_LT(rc.reference_evaluations, rf.reference_evaluations);
+  EXPECT_NEAR(rc.fits[idx].best_correlation, rf.fits[idx].best_correlation,
+              0.02);
+  EXPECT_NEAR(rc.fits[idx].delay_s, rf.fits[idx].delay_s, 1.0);
+}
+
+TEST(RvoTest, MasksAirVoxels) {
+  const Dims d{4, 4, 1};
+  StimulusDesign stim{5, 5};
+  std::vector<VolumeF> series;
+  for (int t = 0; t < 20; ++t) {
+    VolumeF img(d, 0.0f);     // everything air...
+    img.at(0, 0, 0) = 500.0f; // ...except one bright voxel
+    series.push_back(img);
+  }
+  const RvoResult res = RvoAnalyzer(d, stim, 2.0, RvoConfig{}).analyze(series);
+  // Air voxels were skipped entirely.
+  EXPECT_EQ(res.fits[5].best_correlation, 0.0f);
+  EXPECT_LT(res.reference_evaluations, 120u);  // ~1 voxel x grid
+}
+
+}  // namespace
+}  // namespace gtw::fire

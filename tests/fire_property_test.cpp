@@ -1,0 +1,168 @@
+// Property-style parameterised sweeps over the FIRE numerics: motion
+// recovery across a grid of rigid transforms, HRF/reference behaviour
+// across parameter ranges, RVO identifiability, and pipeline consistency
+// invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/machine.hpp"
+#include "fire/motion.hpp"
+#include "fire/reference.hpp"
+#include "fire/rigid.hpp"
+#include "fire/rvo.hpp"
+#include "fire/workload.hpp"
+#include "scanner/phantom.hpp"
+
+namespace gtw::fire {
+namespace {
+
+// --- motion correction sweep -------------------------------------------------
+
+struct MotionCase {
+  double tx, ty, tz, rx, ry, rz;
+};
+
+class MotionSweep : public ::testing::TestWithParam<MotionCase> {};
+
+TEST_P(MotionSweep, RecoversInjectedTransformWithinTolerance) {
+  const MotionCase c = GetParam();
+  const VolumeF ref = scanner::make_head_phantom(Dims{32, 32, 12});
+  const RigidTransform injected{c.tx, c.ty, c.tz, c.rx, c.ry, c.rz};
+  const VolumeF moved = resample(ref, injected);
+  MotionCorrector mc(ref);
+  const MotionResult res = mc.correct(moved);
+
+  // For small motions the corrector's estimate approximates the inverse
+  // (negated parameters).
+  EXPECT_NEAR(res.estimate.tx, -c.tx, 0.15);
+  EXPECT_NEAR(res.estimate.ty, -c.ty, 0.15);
+  EXPECT_NEAR(res.estimate.tz, -c.tz, 0.15);
+  EXPECT_NEAR(res.estimate.rx, -c.rx, 0.012);
+  EXPECT_NEAR(res.estimate.ry, -c.ry, 0.012);
+  EXPECT_NEAR(res.estimate.rz, -c.rz, 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransformGrid, MotionSweep,
+    ::testing::Values(MotionCase{0.4, 0, 0, 0, 0, 0},
+                      MotionCase{-0.6, 0.3, 0, 0, 0, 0},
+                      MotionCase{0, 0, 0.5, 0, 0, 0},
+                      MotionCase{0, 0, 0, 0.015, 0, 0},
+                      MotionCase{0, 0, 0, 0, 0.02, 0},
+                      MotionCase{0, 0, 0, 0, 0, -0.025},
+                      MotionCase{0.3, -0.3, 0.2, 0.01, -0.01, 0.015},
+                      MotionCase{-0.8, 0.5, -0.3, -0.015, 0.01, 0.02}));
+
+// --- HRF / reference sweep ----------------------------------------------------
+
+class HrfDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HrfDelaySweep, KernelPeakTracksDelayParameter) {
+  const double delay = GetParam();
+  const auto h = hrf_kernel(HrfParams{delay, 1.5}, 0.05);
+  const auto peak = std::max_element(h.begin(), h.end());
+  const double t_peak = (std::distance(h.begin(), peak) + 0.5) * 0.05;
+  // Gamma mode = mean - sd^2/mean; allow that analytic offset.
+  const double mode = delay - 1.5 * 1.5 / delay;
+  EXPECT_NEAR(t_peak, mode, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, HrfDelaySweep,
+                         ::testing::Values(4.0, 5.0, 6.0, 7.0, 8.0));
+
+class HrfDispersionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HrfDispersionSweep, WiderDispersionFlattensKernel) {
+  const double w = GetParam();
+  const auto narrow = hrf_kernel(HrfParams{6.0, 0.8}, 0.05);
+  const auto wide = hrf_kernel(HrfParams{6.0, w}, 0.05);
+  EXPECT_LT(*std::max_element(wide.begin(), wide.end()),
+            *std::max_element(narrow.begin(), narrow.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dispersions, HrfDispersionSweep,
+                         ::testing::Values(1.2, 1.8, 2.4, 3.0));
+
+TEST(ReferenceProperty, DifferentDelaysAreDistinguishable) {
+  // The RVO premise: references for different delays must decorrelate
+  // enough to be identified.
+  StimulusDesign stim{8, 8};
+  const auto r5 = make_reference(stim, 96, 2.0, HrfParams{5.0, 1.5});
+  const auto r8 = make_reference(stim, 96, 2.0, HrfParams{8.0, 1.5});
+  double dot = 0.0;
+  for (std::size_t i = 0; i < r5.size(); ++i) dot += r5[i] * r8[i];
+  dot /= static_cast<double>(r5.size());
+  EXPECT_LT(dot, 0.9);   // clearly below perfect correlation
+  EXPECT_GT(dot, 0.0);   // but same stimulus: still positively related
+}
+
+// --- RVO identifiability across the parameter plane ---------------------------
+
+struct RvoCase {
+  double delay, dispersion;
+};
+
+class RvoSweep : public ::testing::TestWithParam<RvoCase> {};
+
+TEST_P(RvoSweep, RecoversPlantedParameters) {
+  const RvoCase c = GetParam();
+  const Dims d{2, 2, 1};
+  StimulusDesign stim{8, 8};
+  const double tr = 2.0;
+  const auto resp = make_reference(stim, 80, tr,
+                                   HrfParams{c.delay, c.dispersion});
+  std::vector<VolumeF> series;
+  for (int t = 0; t < 80; ++t) {
+    VolumeF img(d, 100.0f);
+    img[0] += static_cast<float>(6.0 * resp[static_cast<std::size_t>(t)]);
+    series.push_back(img);
+  }
+  RvoConfig cfg;
+  cfg.delay_steps = 13;
+  cfg.disp_steps = 13;
+  const RvoResult res = RvoAnalyzer(d, stim, tr, cfg).analyze(series);
+  EXPECT_NEAR(res.fits[0].delay_s, c.delay, 0.8);
+  EXPECT_GT(res.fits[0].best_correlation, 0.98f);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterPlane, RvoSweep,
+                         ::testing::Values(RvoCase{4.0, 1.0},
+                                           RvoCase{5.0, 2.0},
+                                           RvoCase{6.0, 1.5},
+                                           RvoCase{7.0, 2.5},
+                                           RvoCase{8.0, 1.0}));
+
+// --- execution model invariants ------------------------------------------------
+
+class PeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeSweep, ModuleTimesMonotoneUpToSliceCount) {
+  // Up to the decomposition grain, more PEs never makes a module slower by
+  // more than the coordination overhead.
+  const int pes = GetParam();
+  const exec::MachineProfile t3e = exec::MachineProfile::t3e600();
+  const FireWork w = make_fire_work(FireWorkParams{});
+  const double t_here = exec::time_on(t3e, w.rvo, pes).sec();
+  const double t_double = exec::time_on(t3e, w.rvo, pes * 2).sec();
+  EXPECT_LT(t_double, t_here * 1.02);
+  // And the efficiency at this PE count is sane (no super-linear model
+  // artefacts).
+  const double t1 = exec::time_on(t3e, w.rvo, 1).sec();
+  EXPECT_LE(t1 / t_here, pes * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, PeSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+TEST(WorkloadProperty, LargerImagesMoreWork) {
+  const FireWork small = make_fire_work({{64, 64, 16}, 128, 100, 8, 3});
+  const FireWork big = make_fire_work({{128, 128, 32}, 128, 100, 8, 3});
+  EXPECT_GT(big.rvo.parallel_ops, 7.9 * small.rvo.parallel_ops);
+  EXPECT_GT(big.filter.parallel_ops, 7.9 * small.filter.parallel_ops);
+  // The slab grain grows with the slice count.
+  EXPECT_EQ(big.filter.max_parallelism, 32);
+}
+
+}  // namespace
+}  // namespace gtw::fire

@@ -1,0 +1,188 @@
+// Property sweeps over the network substrate: TCP exact-delivery across
+// MTU x buffer x loss configurations, scheduler stress determinism, and
+// conservation invariants on the testbed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "des/random.hpp"
+#include "des/scheduler.hpp"
+#include "net/atm.hpp"
+#include "net/tcp.hpp"
+#include "net/units.hpp"
+#include "testbed/testbed.hpp"
+
+namespace gtw::net {
+namespace {
+
+// (mtu, recv_buffer_kb, bottleneck queue kb) — the queue below the window
+// provokes loss; above it, a clean run.
+using TcpCase = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+class TcpDeliverySweep : public ::testing::TestWithParam<TcpCase> {};
+
+TEST_P(TcpDeliverySweep, DeliversExactByteCountInOrder) {
+  const auto [mtu, window_kb, queue_kb] = GetParam();
+  des::Scheduler sched;
+  Host a(sched, "a", 1), b(sched, "b", 2);
+  AtmSwitch sw(sched, "sw");
+  Link::Config fast{622 * kMbit, des::SimTime::microseconds(200), 16u << 20,
+                    des::SimTime::zero()};
+  Link::Config bottleneck{100 * kMbit, des::SimTime::microseconds(200),
+                          static_cast<std::uint64_t>(queue_kb) << 10,
+                          des::SimTime::zero()};
+  AtmNic nic_a(sched, a, "a.atm", fast, mtu);
+  AtmNic nic_b(sched, b, "b.atm", fast, mtu);
+  const int pa = sw.add_port(fast);
+  const int pb = sw.add_port(bottleneck);
+  nic_a.uplink().set_sink(sw.ingress(pa));
+  nic_b.uplink().set_sink(sw.ingress(pb));
+  sw.connect_egress(pa, nic_a.ingress());
+  sw.connect_egress(pb, nic_b.ingress());
+  VcAllocator vcs;
+  vcs.provision(nic_a, nic_b, {{&sw, pa, pb}});
+  a.add_route(2, &nic_a, 2);
+  b.add_route(1, &nic_b, 1);
+
+  TcpConfig cfg;
+  cfg.mss = mtu - 40;
+  cfg.recv_buffer = static_cast<std::uint64_t>(window_kb) << 10;
+  TcpConnection conn(a, b, 100, 200, cfg);
+
+  // Several messages of awkward sizes; all must arrive, in order.
+  des::Rng rng(77);
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t s = 10'000 + rng.uniform_int(400'000);
+    sizes.push_back(s);
+    total += s;
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    conn.send(0, sizes[static_cast<std::size_t>(i)], std::any{i},
+              [&order](const std::any& d, des::SimTime) {
+                order.push_back(std::any_cast<int>(d));
+              });
+  }
+  sched.run();
+  EXPECT_EQ(conn.bytes_received(1), total);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TcpDeliverySweep,
+    ::testing::Values(TcpCase{1500, 64, 512},    // small MTU, clean
+                      TcpCase{1500, 256, 48},    // small MTU, lossy queue
+                      TcpCase{9180, 256, 512},   // default ATM MTU, clean
+                      TcpCase{9180, 1024, 64},   // overshoot -> loss bursts
+                      TcpCase{65280, 512, 1024}, // big MTU, clean
+                      TcpCase{65280, 1024, 256}  // big MTU, lossy
+                      ));
+
+TEST(SchedulerStress, ManyInterleavedTimersStayDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    des::Scheduler sched;
+    des::Rng rng(seed);
+    std::uint64_t checksum = 1469598103934665603ULL;
+    int live = 0;
+    // Self-rescheduling timers with random periods, plus cancellations.
+    std::vector<des::EventHandle> handles;
+    std::function<void(int)> tick = [&](int id) {
+      checksum = (checksum ^ static_cast<std::uint64_t>(id)) * 1099511628211ULL;
+      checksum ^= static_cast<std::uint64_t>(sched.now().ps());
+      if (++live < 4000) {
+        sched.schedule_after(
+            des::SimTime::microseconds(1 + static_cast<std::int64_t>(
+                                               rng.uniform_int(500))),
+            [&tick, id] { tick(id); });
+      }
+    };
+    for (int id = 0; id < 20; ++id) {
+      sched.schedule_after(des::SimTime::microseconds(
+                               static_cast<std::int64_t>(rng.uniform_int(100))),
+                           [&tick, id] { tick(id); });
+    }
+    // A few cancelled decoys must not perturb anything.
+    for (int i = 0; i < 50; ++i) {
+      auto h = sched.schedule_after(des::SimTime::milliseconds(1),
+                                    [&checksum] { checksum = 0; });
+      h.cancel();
+    }
+    sched.run();
+    return checksum;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+TEST(ConservationTest, TestbedPacketAccountingBalances) {
+  // Sum of received + forwarded-at-gateways equals what was sent when the
+  // network is loss-free.
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  const int n = 40;
+  int received = 0;
+  tb.sp2().bind(IpProto::kUdp, 77, [&](const IpPacket&) { ++received; });
+  for (int i = 0; i < n; ++i) {
+    IpPacket pkt;
+    pkt.dst = tb.sp2().id();
+    pkt.proto = IpProto::kUdp;
+    pkt.dst_port = 77;
+    pkt.total_bytes = 5000;
+    tb.t3e600().send_datagram(std::move(pkt));
+  }
+  tb.scheduler().run();
+  EXPECT_EQ(received, n);
+  EXPECT_EQ(tb.t3e600().packets_sent(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(tb.gw_o200().packets_forwarded(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(tb.gw_e5000().packets_forwarded(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(tb.sp2().packets_received(), static_cast<std::uint64_t>(n));
+}
+
+TEST(ConservationTest, LinkByteCountersMatchFrames) {
+  des::Scheduler sched;
+  Link link(sched, "l", {100 * kMbit, des::SimTime::zero(), 1u << 20,
+                         des::SimTime::zero()});
+  std::uint64_t delivered_bytes = 0;
+  link.set_sink([&](Frame f) { delivered_bytes += f.wire_bytes; });
+  std::uint64_t submitted = 0;
+  des::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t bytes =
+        100 + static_cast<std::uint32_t>(rng.uniform_int(5000));
+    if (link.submit(Frame{{}, bytes, 0, kNoHost})) submitted += bytes;
+  }
+  sched.run();
+  EXPECT_EQ(link.bytes_sent(), submitted);
+  EXPECT_EQ(delivered_bytes, submitted);
+}
+
+class WanEraSweep
+    : public ::testing::TestWithParam<testbed::WanEra> {};
+
+TEST_P(WanEraSweep, CrossSiteSmallMessageLatencyIsEraIndependent) {
+  // Latency (unlike bandwidth) is dominated by the 100 km of glass; all
+  // eras deliver a small packet in well under 1 ms + serialization.
+  testbed::Testbed tb{testbed::TestbedOptions{GetParam()}};
+  des::SimTime arrival;
+  tb.onyx2_gmd().bind(IpProto::kUdp, 9, [&](const IpPacket&) {
+    arrival = tb.scheduler().now();
+  });
+  IpPacket pkt;
+  pkt.dst = tb.onyx2_gmd().id();
+  pkt.proto = IpProto::kUdp;
+  pkt.dst_port = 9;
+  pkt.total_bytes = 200;
+  tb.onyx2_juelich().send_datagram(std::move(pkt));
+  tb.scheduler().run();
+  EXPECT_GT(arrival.us(), 500.0);
+  EXPECT_LT(arrival.us(), 1200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eras, WanEraSweep,
+                         ::testing::Values(testbed::WanEra::kBWin155,
+                                           testbed::WanEra::kOc12_1997,
+                                           testbed::WanEra::kOc48_1998));
+
+}  // namespace
+}  // namespace gtw::net

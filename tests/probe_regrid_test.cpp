@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/climate.hpp"
+#include "net/probe.hpp"
+#include "testbed/testbed.hpp"
+
+namespace gtw {
+namespace {
+
+TEST(PingTest, AllProbesAnsweredOnCleanPath) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  net::EchoResponder echo(tb.onyx2_gmd(), 9999);
+  net::PingReport report;
+  net::Pinger ping(tb.onyx2_juelich(), tb.onyx2_gmd().id(), 9999, 20);
+  ping.start([&](const net::PingReport& rep) { report = rep; });
+  tb.scheduler().run();
+  EXPECT_EQ(report.sent, 20);
+  EXPECT_EQ(report.received, 20);
+  EXPECT_EQ(echo.echoes(), 20u);
+  // RTT across 2x100 km of glass plus stack costs: > 1 ms, < 2 ms.
+  EXPECT_GT(report.rtt_ms.min(), 1.0);
+  EXPECT_LT(report.rtt_ms.max(), 2.0);
+}
+
+TEST(PingTest, LocalHippiRttFarBelowWan) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  net::EchoResponder echo(tb.t3e1200(), 9999);
+  net::PingReport report;
+  net::Pinger ping(tb.t3e600(), tb.t3e1200().id(), 9999, 10);
+  ping.start([&](const net::PingReport& rep) { report = rep; });
+  tb.scheduler().run();
+  EXPECT_EQ(report.received, 10);
+  EXPECT_LT(report.rtt_ms.mean(), 0.5);
+}
+
+TEST(PingTest, LossyLinkReportsMissingReplies) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  tb.set_wan_bit_error_rate(1e-4);  // brutal: most probes die
+  net::EchoResponder echo(tb.onyx2_gmd(), 9999);
+  net::PingReport report;
+  net::Pinger ping(tb.onyx2_juelich(), tb.onyx2_gmd().id(), 9999, 30);
+  ping.start([&](const net::PingReport& rep) { report = rep; });
+  tb.scheduler().run();
+  EXPECT_EQ(report.sent, 30);
+  EXPECT_LT(report.received, 30);
+}
+
+TEST(ConservativeRegridTest, PreservesIntegralExactly) {
+  apps::Field2D src(32, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 32; ++x)
+      src.at(x, y) = 100.0 + 7.0 * std::sin(0.3 * x) * std::cos(0.5 * y);
+  for (const auto& [nx, ny] : {std::pair{48, 24}, std::pair{20, 10},
+                               std::pair{32, 16}, std::pair{7, 3}}) {
+    const apps::Field2D dst = apps::regrid_conservative(src, nx, ny);
+    // Equal-area-weighted mean is invariant (all cells uniform here).
+    EXPECT_NEAR(dst.mean(), src.mean(), 1e-9)
+        << "target " << nx << "x" << ny;
+  }
+}
+
+TEST(ConservativeRegridTest, ConstantFieldExact) {
+  apps::Field2D src(10, 10, 42.0);
+  const apps::Field2D dst = apps::regrid_conservative(src, 23, 17);
+  for (double v : dst.v) EXPECT_NEAR(v, 42.0, 1e-12);
+}
+
+TEST(ConservativeRegridTest, BeatsBilinearOnIntegralPreservation) {
+  // A spiky field: bilinear sampling loses mass, conservative does not.
+  apps::Field2D src(16, 16);
+  src.at(5, 5) = 1000.0;
+  src.at(11, 3) = -400.0;
+  const apps::Field2D cons = apps::regrid_conservative(src, 9, 9);
+  const apps::Field2D bili = apps::regrid(src, 9, 9);
+  EXPECT_NEAR(cons.mean(), src.mean(), 1e-9);
+  EXPECT_GT(std::abs(bili.mean() - src.mean()),
+            10.0 * std::abs(cons.mean() - src.mean()) + 1e-12);
+}
+
+TEST(ConservativeRegridTest, IdentityWhenGridsMatch) {
+  apps::Field2D src(12, 8);
+  for (std::size_t i = 0; i < src.v.size(); ++i)
+    src.v[i] = static_cast<double>(i);
+  const apps::Field2D dst = apps::regrid_conservative(src, 12, 8);
+  for (std::size_t i = 0; i < src.v.size(); ++i)
+    EXPECT_NEAR(dst.v[i], src.v[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace gtw

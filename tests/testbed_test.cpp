@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "net/tcp.hpp"
+#include "net/units.hpp"
+#include "testbed/testbed.hpp"
+
+namespace gtw::testbed {
+namespace {
+
+TEST(TestbedTest, BuildsAllPaperHosts) {
+  Testbed tb(TestbedOptions{});
+  for (const char* name :
+       {"t3e600", "t3e1200", "t90", "gw_o200", "gw_ultra30",
+        "scanner_frontend", "onyx2_juelich", "workbench_juelich", "sp2",
+        "gw_e5000", "onyx2_gmd", "e500"}) {
+    EXPECT_TRUE(tb.hosts().contains(name)) << name;
+  }
+  EXPECT_EQ(tb.hosts().size(), 12u);
+}
+
+TEST(TestbedTest, WanRatesPerEra) {
+  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kOc48_1998}).wan_rate_bps(),
+              2.396e9, 2e7);
+  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kOc12_1997}).wan_rate_bps(),
+              5.99e8, 5e6);
+  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kBWin155}).wan_rate_bps(),
+              1.4976e8, 2e6);
+}
+
+TEST(TestbedTest, AttachmentRatesMatchFigure1) {
+  Testbed tb(TestbedOptions{});
+  EXPECT_NEAR(tb.attachment_rate_bps("onyx2_gmd"), net::kOc12Line, 1.0);
+  EXPECT_NEAR(tb.attachment_rate_bps("scanner_frontend"), net::kOc3Line, 1.0);
+  EXPECT_NEAR(tb.attachment_rate_bps("t3e600"), net::kHippiRate, 1.0);
+  EXPECT_THROW(tb.attachment_rate_bps("nonexistent"), std::out_of_range);
+}
+
+// Reachability audit: a datagram between every ordered host pair arrives.
+TEST(TestbedTest, AllPairsReachable) {
+  Testbed tb(TestbedOptions{});
+  int expected = 0, received = 0;
+  for (const auto& [sname, src] : tb.hosts()) {
+    for (const auto& [dname, dst] : tb.hosts()) {
+      if (src == dst) continue;
+      ++expected;
+      dst->bind(net::IpProto::kUdp, 50,
+                [&received](const net::IpPacket&) { ++received; });
+      net::IpPacket pkt;
+      pkt.dst = dst->id();
+      pkt.proto = net::IpProto::kUdp;
+      pkt.dst_port = 50;
+      pkt.total_bytes = 1000;
+      src->send_datagram(std::move(pkt));
+      tb.scheduler().run();
+      dst->unbind(net::IpProto::kUdp, 50);
+    }
+  }
+  EXPECT_EQ(received, expected);
+}
+
+TEST(TestbedTest, CrayLocalHippiTcpExceeds430MbitAt64kMtu) {
+  // Paper section 2: "transfer rates of more than 430 Mbit/s are achieved
+  // within the local Cray complex in Jülich when an MTU of 64 KByte is
+  // used".
+  Testbed tb(TestbedOptions{});
+  net::TcpConfig cfg;
+  cfg.mss = net::kMtuHippi - 40;
+  cfg.recv_buffer = 2u << 20;
+  const auto res = net::run_bulk_transfer(tb.scheduler(), tb.t3e600(),
+                                          tb.t3e1200(), 64u << 20, cfg);
+  EXPECT_GT(res.goodput_bps, 430e6);
+  EXPECT_LT(res.goodput_bps, 800e6);  // HiPPI line rate bound
+}
+
+TEST(TestbedTest, T3eToSp2Around260MbitSp2Limited) {
+  // Paper: "First measurements show a throughput of more than 260 Mbit/s
+  // between the Cray T3E in Jülich and the IBM SP2 ... mainly due to the
+  // limitations of the I/O-system of the microchannel-based SP-nodes."
+  Testbed tb(TestbedOptions{});
+  net::TcpConfig cfg;
+  cfg.mss = tb.options().atm_mtu - 40;
+  cfg.recv_buffer = 4u << 20;
+  const auto res = net::run_bulk_transfer(tb.scheduler(), tb.t3e600(),
+                                          tb.sp2(), 64u << 20, cfg);
+  EXPECT_GT(res.goodput_bps, 230e6);
+  EXPECT_LT(res.goodput_bps, 320e6);
+}
+
+TEST(TestbedTest, WanUpgradeRaisesCrossSiteThroughput) {
+  // Between two fast workstation-class hosts, OC-12 -> OC-48 lifts the
+  // ceiling (the B-WiN 155 is the clear bottleneck).
+  auto throughput = [](WanEra era) {
+    Testbed tb(TestbedOptions{era});
+    net::TcpConfig cfg;
+    cfg.mss = tb.options().atm_mtu - 40;
+    // 1 MB socket buffers (1999-realistic) also keep slow-start overshoot
+    // below the 4 MB switch buffers; larger windows trigger loss bursts
+    // that this simplified Reno recovers from only via timeouts.
+    cfg.recv_buffer = 1u << 20;
+    return net::run_bulk_transfer(tb.scheduler(), tb.onyx2_juelich(),
+                                  tb.onyx2_gmd(), 64u << 20, cfg)
+        .goodput_bps;
+  };
+  const double bwin = throughput(WanEra::kBWin155);
+  const double oc12 = throughput(WanEra::kOc12_1997);
+  const double oc48 = throughput(WanEra::kOc48_1998);
+  EXPECT_LT(bwin, 150e6);
+  EXPECT_GT(oc12, 2.5 * bwin);
+  // With OC-48 the WAN stops being the bottleneck (622 host NICs remain).
+  EXPECT_GE(oc48, oc12 * 0.95);
+}
+
+TEST(TestbedTest, GatewayForwardsCountedOnCrossFabricPath) {
+  Testbed tb(TestbedOptions{});
+  net::IpPacket pkt;
+  pkt.dst = tb.sp2().id();
+  pkt.proto = net::IpProto::kUdp;
+  pkt.dst_port = 5;
+  pkt.total_bytes = 2000;
+  bool got = false;
+  tb.sp2().bind(net::IpProto::kUdp, 5,
+                [&](const net::IpPacket&) { got = true; });
+  tb.t3e600().send_datagram(std::move(pkt));
+  tb.scheduler().run();
+  EXPECT_TRUE(got);
+  EXPECT_GE(tb.gw_o200().packets_forwarded(), 1u);
+  EXPECT_GE(tb.gw_e5000().packets_forwarded(), 1u);
+}
+
+TEST(TestbedTest, CrossSiteLatencyIncludesFiberDelay) {
+  Testbed tb(TestbedOptions{});
+  des::SimTime arrival;
+  tb.onyx2_gmd().bind(net::IpProto::kUdp, 9, [&](const net::IpPacket&) {
+    arrival = tb.scheduler().now();
+  });
+  net::IpPacket pkt;
+  pkt.dst = tb.onyx2_gmd().id();
+  pkt.proto = net::IpProto::kUdp;
+  pkt.dst_port = 9;
+  pkt.total_bytes = 100;
+  tb.onyx2_juelich().send_datagram(std::move(pkt));
+  tb.scheduler().run();
+  // 100 km of fibre is 500 us one way; everything else adds a bit more.
+  EXPECT_GT(arrival.us(), 500.0);
+  EXPECT_LT(arrival.us(), 1500.0);
+}
+
+}  // namespace
+}  // namespace gtw::testbed

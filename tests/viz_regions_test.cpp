@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "apps/meg.hpp"
+#include "meta/communicator.hpp"
+#include "testbed/testbed.hpp"
+#include "viz/regions.hpp"
+
+namespace gtw {
+namespace {
+
+TEST(RegionLabelTest, EmptyMaskNoRegions) {
+  fire::Volume<std::uint8_t> mask(fire::Dims{8, 8, 4});
+  EXPECT_TRUE(viz::label_regions(mask).empty());
+}
+
+TEST(RegionLabelTest, SingleBlobOneRegion) {
+  fire::Volume<std::uint8_t> mask(fire::Dims{16, 16, 8});
+  for (int z = 2; z < 5; ++z)
+    for (int y = 4; y < 8; ++y)
+      for (int x = 4; x < 8; ++x) mask.at(x, y, z) = 1;
+  const auto regions = viz::label_regions(mask);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].voxels, 3u * 4 * 4);
+  EXPECT_NEAR(regions[0].cx, 5.5, 1e-9);
+  EXPECT_NEAR(regions[0].cy, 5.5, 1e-9);
+  EXPECT_NEAR(regions[0].cz, 3.0, 1e-9);
+}
+
+TEST(RegionLabelTest, SeparateBlobsSeparateRegions) {
+  fire::Volume<std::uint8_t> mask(fire::Dims{20, 10, 4});
+  mask.at(2, 2, 1) = 1;
+  mask.at(3, 2, 1) = 1;      // blob A: 2 voxels
+  mask.at(15, 7, 2) = 1;     // blob B: 1 voxel
+  const auto regions = viz::label_regions(mask);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].voxels, 2u);  // sorted largest-first
+  EXPECT_EQ(regions[1].voxels, 1u);
+}
+
+TEST(RegionLabelTest, DiagonalTouchIsNotConnected) {
+  // 6-connectivity: diagonal neighbours are distinct regions.
+  fire::Volume<std::uint8_t> mask(fire::Dims{4, 4, 1});
+  mask.at(1, 1, 0) = 1;
+  mask.at(2, 2, 0) = 1;
+  EXPECT_EQ(viz::label_regions(mask).size(), 2u);
+}
+
+TEST(RegionLabelTest, MinVoxelsSuppressesSpeckle) {
+  fire::Volume<std::uint8_t> mask(fire::Dims{16, 16, 4});
+  mask.at(1, 1, 1) = 1;  // speckle
+  for (int x = 5; x < 12; ++x) mask.at(x, 8, 2) = 1;  // 7-voxel line
+  const auto regions = viz::label_regions(mask, nullptr, 3);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].voxels, 7u);
+}
+
+TEST(RegionLabelTest, PeakValueReported) {
+  fire::Volume<std::uint8_t> mask(fire::Dims{8, 8, 2});
+  fire::VolumeF values(fire::Dims{8, 8, 2});
+  mask.at(3, 3, 0) = 1;
+  mask.at(4, 3, 0) = 1;
+  values.at(3, 3, 0) = 0.5f;
+  values.at(4, 3, 0) = 0.8f;
+  const auto regions = viz::label_regions(mask, &values);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_FLOAT_EQ(regions[0].peak_value, 0.8f);
+}
+
+TEST(MusicComputeModelTest, VectorMachineShortensTheScan) {
+  // pmusic on T3E + T90: giving some ranks a vector-machine evaluation rate
+  // reduces the total time vs all-slow ranks, and the allreduce still
+  // agrees with the serial result.
+  auto run = [](std::vector<double> rates) {
+    testbed::Testbed tb{testbed::TestbedOptions{}};
+    meta::Metacomputer mc(tb.scheduler());
+    meta::MachineSpec a;
+    a.name = "T3E";
+    a.max_pes = 512;
+    a.frontend = &tb.t3e600();
+    meta::MachineSpec b;
+    b.name = "T90";
+    b.max_pes = 10;
+    b.frontend = &tb.t90();
+    const int ma = mc.add_machine(a);
+    const int mb = mc.add_machine(b);
+    net::TcpConfig cfg;
+    cfg.mss = tb.options().atm_mtu - 40;
+    mc.link_machines(ma, mb, cfg, 7000);
+    auto comm = std::make_shared<meta::Communicator>(
+        mc, std::vector<meta::ProcLoc>{{ma, 0}, {ma, 1}, {mb, 0}, {mb, 1}});
+
+    apps::MegConfig mcfg;
+    mcfg.noise_sigma = 5e-15;
+    apps::MegSimulator sim(mcfg);
+    const apps::SimulatedDipole d{{0.03, 0.02, 0.05}, {1e-8, 0, 0}, 11, 0};
+    const linalg::Matrix data = sim.simulate({d});
+    apps::MusicConfig c;
+    c.grid_n = 8;
+    c.n_sources = 1;
+    apps::DistributedMusic dist(comm, apps::MusicScanner(sim.sensors()), c,
+                                std::move(rates));
+    dist.start(data);
+    tb.scheduler().run();
+    return dist.result();
+  };
+
+  // All-MPP: 30k evals/s per PE.  Heterogeneous: two T90 ranks at 200k.
+  const auto slow = run({30e3, 30e3, 30e3, 30e3});
+  const auto fast = run({30e3, 30e3, 200e3, 200e3});
+  EXPECT_GT(slow.compute_s, 0.0);
+  // The mixed metacomputer is faster overall (the T90 slabs finish early;
+  // the slowest rank still gates, but the balanced split helps).
+  EXPECT_LE(fast.elapsed_s, slow.elapsed_s);
+  ASSERT_EQ(fast.peaks.size(), 1u);
+  ASSERT_EQ(slow.peaks.size(), 1u);
+  EXPECT_NEAR(fast.peaks[0].position.x, slow.peaks[0].position.x, 1e-12);
+}
+
+}  // namespace
+}  // namespace gtw

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fire/volume.hpp"
+#include "net/atm.hpp"
+#include "net/units.hpp"
+#include "scanner/phantom.hpp"
+#include "trace/trace.hpp"
+#include "viz/merge.hpp"
+#include "viz/workbench.hpp"
+
+namespace gtw {
+namespace {
+
+TEST(WorkbenchFormatTest, FrameBytesMatchPaper) {
+  // "two projection planes, each of them displays stereo images of
+  // 1024x768 true color (24 Bit) pixels" = 2 x 2 x 1024 x 768 x 3 bytes.
+  viz::WorkbenchFormat fmt;
+  EXPECT_EQ(fmt.frame_bytes(), 2ull * 2 * 1024 * 768 * 3);
+}
+
+TEST(ClassicalIpFpsTest, Below8FpsAt622AsPaperStates) {
+  viz::WorkbenchFormat fmt;
+  const double fps = viz::classical_ip_fps(fmt, 622.08e6);
+  EXPECT_LT(fps, 8.0);
+  EXPECT_GT(fps, 6.0);  // but not absurdly below
+}
+
+TEST(ClassicalIpFpsTest, ScalesWithLinkRate) {
+  viz::WorkbenchFormat fmt;
+  const double f622 = viz::classical_ip_fps(fmt, 622.08e6);
+  const double f2400 = viz::classical_ip_fps(fmt, 2488.32e6);
+  EXPECT_NEAR(f2400 / f622, 4.0, 0.05);
+}
+
+TEST(ClassicalIpFpsTest, LargerMtuHelpsSlightly) {
+  viz::WorkbenchFormat fmt;
+  const double small = viz::classical_ip_fps(fmt, 622.08e6, 9180);
+  const double large = viz::classical_ip_fps(fmt, 622.08e6, 65535);
+  EXPECT_GT(large, small);
+  EXPECT_LT(large / small, 1.10);  // cell tax dominates, headers are minor
+}
+
+TEST(MergeTest, UpsamplesAndFlagsActivation) {
+  const fire::Dims anat_d{64, 64, 32};
+  const fire::Dims func_d{16, 16, 8};
+  fire::VolumeF anat = scanner::make_anatomical(anat_d);
+  fire::VolumeF corr(func_d, 0.0f);
+  corr.at(8, 8, 4) = 0.9f;  // one activated functional voxel
+
+  const viz::MergeResult res = viz::merge_functional(anat, corr, 0.5f);
+  EXPECT_GT(res.activated_voxels, 0u);
+  // Upsampling factor 4x4x4: the blob covers on the order of 4^3 anatomical
+  // voxels (trilinear support shrinks it below the full cube).
+  EXPECT_LT(res.activated_voxels, 600u);
+  // The anatomical grid never samples the functional voxel centre exactly,
+  // so trilinear interpolation attenuates the 0.9 peak (0.875^3 = 0.67 of
+  // it at the nearest sample).
+  EXPECT_GT(res.peak_correlation, 0.55f);
+  EXPECT_LE(res.peak_correlation, 0.9f);
+  // Overlayed voxels got brighter than the plain anatomical.
+  bool brighter = false;
+  for (int z = 0; z < anat_d.nz && !brighter; ++z)
+    for (int y = 0; y < anat_d.ny && !brighter; ++y)
+      for (int x = 0; x < anat_d.nx && !brighter; ++x)
+        if (res.overlay.at(x, y, z) &&
+            res.merged.at(x, y, z) > anat.at(x, y, z))
+          brighter = true;
+  EXPECT_TRUE(brighter);
+}
+
+TEST(MergeTest, NoActivationBelowClip) {
+  fire::VolumeF anat(scanner::make_anatomical(fire::Dims{32, 32, 16}));
+  fire::VolumeF corr(fire::Dims{8, 8, 4}, 0.2f);
+  const viz::MergeResult res = viz::merge_functional(anat, corr, 0.5f);
+  EXPECT_EQ(res.activated_voxels, 0u);
+}
+
+TEST(RenderModelTest, FrameTimeScalesWithProcessors) {
+  viz::WorkbenchFormat fmt;
+  viz::RenderModel one{0.012, 1};
+  viz::RenderModel twelve{0.012, 12};
+  EXPECT_NEAR(one.frame_time(fmt).sec() / twelve.frame_time(fmt).sec(), 12.0,
+              1e-9);
+}
+
+TEST(TraceTest, StateTimesAttributed) {
+  trace::TraceRecorder rec(2);
+  const auto compute = rec.define_state("compute");
+  const auto comm = rec.define_state("comm");
+  rec.enter(0, compute, des::SimTime::seconds(0.0));
+  rec.enter(0, comm, des::SimTime::seconds(2.0));   // nested
+  rec.leave(0, comm, des::SimTime::seconds(3.0));
+  rec.leave(0, compute, des::SimTime::seconds(5.0));
+  rec.enter(1, compute, des::SimTime::seconds(1.0));
+  rec.leave(1, compute, des::SimTime::seconds(4.0));
+
+  trace::TraceStats stats(rec);
+  EXPECT_NEAR(stats.state_time(0, compute).sec(), 4.0, 1e-9);  // 2 + 2
+  EXPECT_NEAR(stats.state_time(0, comm).sec(), 1.0, 1e-9);
+  EXPECT_NEAR(stats.state_time(1, compute).sec(), 3.0, 1e-9);
+}
+
+TEST(TraceTest, MessageMatrix) {
+  trace::TraceRecorder rec(3);
+  rec.send(0, 1, 5, 1000, des::SimTime::seconds(0.1));
+  rec.send(0, 1, 5, 2000, des::SimTime::seconds(0.2));
+  rec.send(2, 0, 9, 512, des::SimTime::seconds(0.3));
+  rec.recv(1, 0, 5, 1000, des::SimTime::seconds(0.4));
+
+  trace::TraceStats stats(rec);
+  EXPECT_EQ(stats.messages(0, 1), 2u);
+  EXPECT_EQ(stats.bytes(0, 1), 3000u);
+  EXPECT_EQ(stats.messages(2, 0), 1u);
+  EXPECT_EQ(stats.messages(1, 0), 0u);
+  EXPECT_EQ(stats.total_messages(), 3u);
+  EXPECT_EQ(stats.total_bytes(), 3512u);
+}
+
+TEST(TraceTest, BinaryRoundTrip) {
+  trace::TraceRecorder rec(4);
+  const auto s1 = rec.define_state("solve");
+  const auto s2 = rec.define_state("exchange");
+  for (int i = 0; i < 100; ++i) {
+    rec.enter(static_cast<std::uint32_t>(i % 4), i % 2 ? s1 : s2,
+              des::SimTime::milliseconds(i));
+    rec.leave(static_cast<std::uint32_t>(i % 4), i % 2 ? s1 : s2,
+              des::SimTime::milliseconds(i + 1));
+    rec.send(static_cast<std::uint32_t>(i % 4),
+             static_cast<std::uint32_t>((i + 1) % 4), 7, 100u + i,
+             des::SimTime::milliseconds(i));
+  }
+  std::stringstream buf;
+  rec.write(buf);
+  const trace::TraceRecorder back = trace::TraceRecorder::read(buf);
+  ASSERT_EQ(back.events().size(), rec.events().size());
+  EXPECT_EQ(back.ranks(), 4);
+  EXPECT_EQ(back.state_name(s1), "solve");
+  EXPECT_EQ(back.state_name(s2), "exchange");
+  for (std::size_t i = 0; i < rec.events().size(); ++i) {
+    EXPECT_EQ(back.events()[i].time_ps, rec.events()[i].time_ps);
+    EXPECT_EQ(back.events()[i].rank, rec.events()[i].rank);
+    EXPECT_EQ(back.events()[i].bytes, rec.events()[i].bytes);
+  }
+}
+
+TEST(TraceTest, ReadRejectsGarbage) {
+  std::stringstream buf;
+  buf << "not a trace file";
+  EXPECT_THROW(trace::TraceRecorder::read(buf), std::runtime_error);
+}
+
+TEST(TraceTest, GanttRendersStates) {
+  trace::TraceRecorder rec(2);
+  const auto a = rec.define_state("alpha");
+  const auto b = rec.define_state("beta");
+  rec.enter(0, a, des::SimTime::seconds(0.0));
+  rec.leave(0, a, des::SimTime::seconds(1.0));
+  rec.enter(1, b, des::SimTime::seconds(0.5));
+  rec.leave(1, b, des::SimTime::seconds(1.0));
+  trace::TraceStats stats(rec);
+  const std::string g = stats.gantt(40);
+  EXPECT_NE(g.find('a'), std::string::npos);
+  EXPECT_NE(g.find('b'), std::string::npos);
+  EXPECT_NE(g.find("rank  0"), std::string::npos);
+}
+
+TEST(TraceTest, ProfileMentionsStatesAndMessages) {
+  trace::TraceRecorder rec(1);
+  const auto s = rec.define_state("work");
+  rec.enter(0, s, des::SimTime::seconds(0.0));
+  rec.leave(0, s, des::SimTime::seconds(2.5));
+  rec.send(0, 0, 1, 42, des::SimTime::seconds(1.0));
+  trace::TraceStats stats(rec);
+  const std::string p = stats.profile();
+  EXPECT_NE(p.find("work"), std::string::npos);
+  EXPECT_NE(p.find("messages: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtw
