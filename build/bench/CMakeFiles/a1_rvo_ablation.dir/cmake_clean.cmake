@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_rvo_ablation.dir/a1_rvo_ablation.cpp.o"
+  "CMakeFiles/a1_rvo_ablation.dir/a1_rvo_ablation.cpp.o.d"
+  "a1_rvo_ablation"
+  "a1_rvo_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_rvo_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_pipelining.dir/a2_pipelining.cpp.o"
+  "CMakeFiles/a2_pipelining.dir/a2_pipelining.cpp.o.d"
+  "a2_pipelining"
+  "a2_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_mtu_window.dir/a3_mtu_window.cpp.o"
+  "CMakeFiles/a3_mtu_window.dir/a3_mtu_window.cpp.o.d"
+  "a3_mtu_window"
+  "a3_mtu_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_mtu_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

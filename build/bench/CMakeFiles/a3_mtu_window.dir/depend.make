@@ -1,0 +1,2 @@
+# Empty dependencies file for a3_mtu_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_throughput.dir/e1_throughput.cpp.o"
+  "CMakeFiles/e1_throughput.dir/e1_throughput.cpp.o.d"
+  "e1_throughput"
+  "e1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_delay_budget.dir/e2_delay_budget.cpp.o"
+  "CMakeFiles/e2_delay_budget.dir/e2_delay_budget.cpp.o.d"
+  "e2_delay_budget"
+  "e2_delay_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_delay_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_workbench_fps.dir/e3_workbench_fps.cpp.o"
+  "CMakeFiles/e3_workbench_fps.dir/e3_workbench_fps.cpp.o.d"
+  "e3_workbench_fps"
+  "e3_workbench_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_workbench_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

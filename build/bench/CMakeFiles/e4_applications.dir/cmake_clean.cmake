@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_applications.dir/e4_applications.cpp.o"
+  "CMakeFiles/e4_applications.dir/e4_applications.cpp.o.d"
+  "e4_applications"
+  "e4_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_extensions.dir/e5_extensions.cpp.o"
+  "CMakeFiles/e5_extensions.dir/e5_extensions.cpp.o.d"
+  "e5_extensions"
+  "e5_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

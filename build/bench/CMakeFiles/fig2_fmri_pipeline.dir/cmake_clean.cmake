@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fmri_pipeline.dir/fig2_fmri_pipeline.cpp.o"
+  "CMakeFiles/fig2_fmri_pipeline.dir/fig2_fmri_pipeline.cpp.o.d"
+  "fig2_fmri_pipeline"
+  "fig2_fmri_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fmri_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fire_gui_roi.dir/fig3_fire_gui_roi.cpp.o"
+  "CMakeFiles/fig3_fire_gui_roi.dir/fig3_fire_gui_roi.cpp.o.d"
+  "fig3_fire_gui_roi"
+  "fig3_fire_gui_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fire_gui_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_fire_gui_roi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_workbench_viz.dir/fig4_workbench_viz.cpp.o"
+  "CMakeFiles/fig4_workbench_viz.dir/fig4_workbench_viz.cpp.o.d"
+  "fig4_workbench_viz"
+  "fig4_workbench_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_workbench_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

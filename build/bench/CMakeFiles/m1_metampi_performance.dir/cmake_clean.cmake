@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m1_metampi_performance.dir/m1_metampi_performance.cpp.o"
+  "CMakeFiles/m1_metampi_performance.dir/m1_metampi_performance.cpp.o.d"
+  "m1_metampi_performance"
+  "m1_metampi_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m1_metampi_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for m1_metampi_performance.
+# This may be replaced when dependencies are built.

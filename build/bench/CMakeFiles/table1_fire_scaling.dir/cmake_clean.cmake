@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fire_scaling.dir/table1_fire_scaling.cpp.o"
+  "CMakeFiles/table1_fire_scaling.dir/table1_fire_scaling.cpp.o.d"
+  "table1_fire_scaling"
+  "table1_fire_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fire_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

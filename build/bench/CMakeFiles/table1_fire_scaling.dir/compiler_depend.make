@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_fire_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_groundwater.dir/coupled_groundwater.cpp.o"
+  "CMakeFiles/coupled_groundwater.dir/coupled_groundwater.cpp.o.d"
+  "coupled_groundwater"
+  "coupled_groundwater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_groundwater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for coupled_groundwater.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o"
+  "CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o.d"
+  "fmri_realtime"
+  "fmri_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmri_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

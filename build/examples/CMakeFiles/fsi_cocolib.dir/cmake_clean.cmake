@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_cocolib.dir/fsi_cocolib.cpp.o"
+  "CMakeFiles/fsi_cocolib.dir/fsi_cocolib.cpp.o.d"
+  "fsi_cocolib"
+  "fsi_cocolib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_cocolib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsi_cocolib.
+# This may be replaced when dependencies are built.

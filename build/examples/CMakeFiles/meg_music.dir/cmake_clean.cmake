@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meg_music.dir/meg_music.cpp.o"
+  "CMakeFiles/meg_music.dir/meg_music.cpp.o.d"
+  "meg_music"
+  "meg_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meg_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

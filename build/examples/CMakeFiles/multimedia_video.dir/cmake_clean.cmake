@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_video.dir/multimedia_video.cpp.o"
+  "CMakeFiles/multimedia_video.dir/multimedia_video.cpp.o.d"
+  "multimedia_video"
+  "multimedia_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_visualization.dir/traffic_visualization.cpp.o"
+  "CMakeFiles/traffic_visualization.dir/traffic_visualization.cpp.o.d"
+  "traffic_visualization"
+  "traffic_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

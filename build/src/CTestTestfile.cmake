@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("des")
+subdirs("linalg")
+subdirs("net")
+subdirs("meta")
+subdirs("exec")
+subdirs("fire")
+subdirs("scanner")
+subdirs("viz")
+subdirs("trace")
+subdirs("testbed")
+subdirs("apps")

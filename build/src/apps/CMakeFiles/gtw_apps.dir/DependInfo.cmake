@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/climate.cpp" "src/apps/CMakeFiles/gtw_apps.dir/climate.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/climate.cpp.o.d"
+  "/root/repo/src/apps/cocolib.cpp" "src/apps/CMakeFiles/gtw_apps.dir/cocolib.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/cocolib.cpp.o.d"
+  "/root/repo/src/apps/groundwater.cpp" "src/apps/CMakeFiles/gtw_apps.dir/groundwater.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/groundwater.cpp.o.d"
+  "/root/repo/src/apps/meg.cpp" "src/apps/CMakeFiles/gtw_apps.dir/meg.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/meg.cpp.o.d"
+  "/root/repo/src/apps/moldyn.cpp" "src/apps/CMakeFiles/gtw_apps.dir/moldyn.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/moldyn.cpp.o.d"
+  "/root/repo/src/apps/traffic.cpp" "src/apps/CMakeFiles/gtw_apps.dir/traffic.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/traffic.cpp.o.d"
+  "/root/repo/src/apps/video.cpp" "src/apps/CMakeFiles/gtw_apps.dir/video.cpp.o" "gcc" "src/apps/CMakeFiles/gtw_apps.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gtw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/gtw_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/fire/CMakeFiles/gtw_fire.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_apps.dir/climate.cpp.o"
+  "CMakeFiles/gtw_apps.dir/climate.cpp.o.d"
+  "CMakeFiles/gtw_apps.dir/cocolib.cpp.o"
+  "CMakeFiles/gtw_apps.dir/cocolib.cpp.o.d"
+  "CMakeFiles/gtw_apps.dir/groundwater.cpp.o"
+  "CMakeFiles/gtw_apps.dir/groundwater.cpp.o.d"
+  "CMakeFiles/gtw_apps.dir/meg.cpp.o"
+  "CMakeFiles/gtw_apps.dir/meg.cpp.o.d"
+  "CMakeFiles/gtw_apps.dir/moldyn.cpp.o"
+  "CMakeFiles/gtw_apps.dir/moldyn.cpp.o.d"
+  "CMakeFiles/gtw_apps.dir/traffic.cpp.o"
+  "CMakeFiles/gtw_apps.dir/traffic.cpp.o.d"
+  "CMakeFiles/gtw_apps.dir/video.cpp.o"
+  "CMakeFiles/gtw_apps.dir/video.cpp.o.d"
+  "libgtw_apps.a"
+  "libgtw_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_des.dir/random.cpp.o"
+  "CMakeFiles/gtw_des.dir/random.cpp.o.d"
+  "CMakeFiles/gtw_des.dir/scheduler.cpp.o"
+  "CMakeFiles/gtw_des.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gtw_des.dir/stats.cpp.o"
+  "CMakeFiles/gtw_des.dir/stats.cpp.o.d"
+  "CMakeFiles/gtw_des.dir/time.cpp.o"
+  "CMakeFiles/gtw_des.dir/time.cpp.o.d"
+  "libgtw_des.a"
+  "libgtw_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_exec.dir/decomposition.cpp.o"
+  "CMakeFiles/gtw_exec.dir/decomposition.cpp.o.d"
+  "CMakeFiles/gtw_exec.dir/machine.cpp.o"
+  "CMakeFiles/gtw_exec.dir/machine.cpp.o.d"
+  "libgtw_exec.a"
+  "libgtw_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fire/analysis.cpp" "src/fire/CMakeFiles/gtw_fire.dir/analysis.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/analysis.cpp.o.d"
+  "/root/repo/src/fire/correlation.cpp" "src/fire/CMakeFiles/gtw_fire.dir/correlation.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/correlation.cpp.o.d"
+  "/root/repo/src/fire/detrend.cpp" "src/fire/CMakeFiles/gtw_fire.dir/detrend.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/detrend.cpp.o.d"
+  "/root/repo/src/fire/filters.cpp" "src/fire/CMakeFiles/gtw_fire.dir/filters.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/filters.cpp.o.d"
+  "/root/repo/src/fire/motion.cpp" "src/fire/CMakeFiles/gtw_fire.dir/motion.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/motion.cpp.o.d"
+  "/root/repo/src/fire/pipeline.cpp" "src/fire/CMakeFiles/gtw_fire.dir/pipeline.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/pipeline.cpp.o.d"
+  "/root/repo/src/fire/reference.cpp" "src/fire/CMakeFiles/gtw_fire.dir/reference.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/reference.cpp.o.d"
+  "/root/repo/src/fire/rigid.cpp" "src/fire/CMakeFiles/gtw_fire.dir/rigid.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/rigid.cpp.o.d"
+  "/root/repo/src/fire/rvo.cpp" "src/fire/CMakeFiles/gtw_fire.dir/rvo.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/rvo.cpp.o.d"
+  "/root/repo/src/fire/workload.cpp" "src/fire/CMakeFiles/gtw_fire.dir/workload.cpp.o" "gcc" "src/fire/CMakeFiles/gtw_fire.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gtw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

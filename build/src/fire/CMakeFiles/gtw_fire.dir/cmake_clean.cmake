@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_fire.dir/analysis.cpp.o"
+  "CMakeFiles/gtw_fire.dir/analysis.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/correlation.cpp.o"
+  "CMakeFiles/gtw_fire.dir/correlation.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/detrend.cpp.o"
+  "CMakeFiles/gtw_fire.dir/detrend.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/filters.cpp.o"
+  "CMakeFiles/gtw_fire.dir/filters.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/motion.cpp.o"
+  "CMakeFiles/gtw_fire.dir/motion.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/pipeline.cpp.o"
+  "CMakeFiles/gtw_fire.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/reference.cpp.o"
+  "CMakeFiles/gtw_fire.dir/reference.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/rigid.cpp.o"
+  "CMakeFiles/gtw_fire.dir/rigid.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/rvo.cpp.o"
+  "CMakeFiles/gtw_fire.dir/rvo.cpp.o.d"
+  "CMakeFiles/gtw_fire.dir/workload.cpp.o"
+  "CMakeFiles/gtw_fire.dir/workload.cpp.o.d"
+  "libgtw_fire.a"
+  "libgtw_fire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_fire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gtw_fire.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_linalg.dir/cg.cpp.o"
+  "CMakeFiles/gtw_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/gtw_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/gtw_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/gtw_linalg.dir/fft.cpp.o"
+  "CMakeFiles/gtw_linalg.dir/fft.cpp.o.d"
+  "CMakeFiles/gtw_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/gtw_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/gtw_linalg.dir/solve.cpp.o"
+  "CMakeFiles/gtw_linalg.dir/solve.cpp.o.d"
+  "libgtw_linalg.a"
+  "libgtw_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/coallocation.cpp" "src/meta/CMakeFiles/gtw_meta.dir/coallocation.cpp.o" "gcc" "src/meta/CMakeFiles/gtw_meta.dir/coallocation.cpp.o.d"
+  "/root/repo/src/meta/communicator.cpp" "src/meta/CMakeFiles/gtw_meta.dir/communicator.cpp.o" "gcc" "src/meta/CMakeFiles/gtw_meta.dir/communicator.cpp.o.d"
+  "/root/repo/src/meta/metacomputer.cpp" "src/meta/CMakeFiles/gtw_meta.dir/metacomputer.cpp.o" "gcc" "src/meta/CMakeFiles/gtw_meta.dir/metacomputer.cpp.o.d"
+  "/root/repo/src/meta/ports.cpp" "src/meta/CMakeFiles/gtw_meta.dir/ports.cpp.o" "gcc" "src/meta/CMakeFiles/gtw_meta.dir/ports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_meta.dir/coallocation.cpp.o"
+  "CMakeFiles/gtw_meta.dir/coallocation.cpp.o.d"
+  "CMakeFiles/gtw_meta.dir/communicator.cpp.o"
+  "CMakeFiles/gtw_meta.dir/communicator.cpp.o.d"
+  "CMakeFiles/gtw_meta.dir/metacomputer.cpp.o"
+  "CMakeFiles/gtw_meta.dir/metacomputer.cpp.o.d"
+  "CMakeFiles/gtw_meta.dir/ports.cpp.o"
+  "CMakeFiles/gtw_meta.dir/ports.cpp.o.d"
+  "libgtw_meta.a"
+  "libgtw_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

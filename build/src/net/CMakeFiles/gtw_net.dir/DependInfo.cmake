@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/atm.cpp" "src/net/CMakeFiles/gtw_net.dir/atm.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/atm.cpp.o.d"
+  "/root/repo/src/net/cpu.cpp" "src/net/CMakeFiles/gtw_net.dir/cpu.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/cpu.cpp.o.d"
+  "/root/repo/src/net/datagram.cpp" "src/net/CMakeFiles/gtw_net.dir/datagram.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/datagram.cpp.o.d"
+  "/root/repo/src/net/hippi.cpp" "src/net/CMakeFiles/gtw_net.dir/hippi.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/hippi.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/gtw_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/gtw_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/probe.cpp" "src/net/CMakeFiles/gtw_net.dir/probe.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/probe.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/gtw_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/gtw_net.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

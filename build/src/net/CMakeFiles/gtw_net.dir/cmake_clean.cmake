@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_net.dir/atm.cpp.o"
+  "CMakeFiles/gtw_net.dir/atm.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/cpu.cpp.o"
+  "CMakeFiles/gtw_net.dir/cpu.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/datagram.cpp.o"
+  "CMakeFiles/gtw_net.dir/datagram.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/hippi.cpp.o"
+  "CMakeFiles/gtw_net.dir/hippi.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/host.cpp.o"
+  "CMakeFiles/gtw_net.dir/host.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/link.cpp.o"
+  "CMakeFiles/gtw_net.dir/link.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/probe.cpp.o"
+  "CMakeFiles/gtw_net.dir/probe.cpp.o.d"
+  "CMakeFiles/gtw_net.dir/tcp.cpp.o"
+  "CMakeFiles/gtw_net.dir/tcp.cpp.o.d"
+  "libgtw_net.a"
+  "libgtw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/kspace.cpp" "src/scanner/CMakeFiles/gtw_scanner.dir/kspace.cpp.o" "gcc" "src/scanner/CMakeFiles/gtw_scanner.dir/kspace.cpp.o.d"
+  "/root/repo/src/scanner/phantom.cpp" "src/scanner/CMakeFiles/gtw_scanner.dir/phantom.cpp.o" "gcc" "src/scanner/CMakeFiles/gtw_scanner.dir/phantom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/fire/CMakeFiles/gtw_fire.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gtw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

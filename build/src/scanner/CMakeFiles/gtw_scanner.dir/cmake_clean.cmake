@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_scanner.dir/kspace.cpp.o"
+  "CMakeFiles/gtw_scanner.dir/kspace.cpp.o.d"
+  "CMakeFiles/gtw_scanner.dir/phantom.cpp.o"
+  "CMakeFiles/gtw_scanner.dir/phantom.cpp.o.d"
+  "libgtw_scanner.a"
+  "libgtw_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

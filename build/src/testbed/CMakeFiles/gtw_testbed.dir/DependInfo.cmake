@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/extensions.cpp" "src/testbed/CMakeFiles/gtw_testbed.dir/extensions.cpp.o" "gcc" "src/testbed/CMakeFiles/gtw_testbed.dir/extensions.cpp.o.d"
+  "/root/repo/src/testbed/testbed.cpp" "src/testbed/CMakeFiles/gtw_testbed.dir/testbed.cpp.o" "gcc" "src/testbed/CMakeFiles/gtw_testbed.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

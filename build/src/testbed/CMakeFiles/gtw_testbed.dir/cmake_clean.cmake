@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_testbed.dir/extensions.cpp.o"
+  "CMakeFiles/gtw_testbed.dir/extensions.cpp.o.d"
+  "CMakeFiles/gtw_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/gtw_testbed.dir/testbed.cpp.o.d"
+  "libgtw_testbed.a"
+  "libgtw_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

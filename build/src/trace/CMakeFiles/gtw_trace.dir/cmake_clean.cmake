@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_trace.dir/trace.cpp.o"
+  "CMakeFiles/gtw_trace.dir/trace.cpp.o.d"
+  "libgtw_trace.a"
+  "libgtw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/merge.cpp" "src/viz/CMakeFiles/gtw_viz.dir/merge.cpp.o" "gcc" "src/viz/CMakeFiles/gtw_viz.dir/merge.cpp.o.d"
+  "/root/repo/src/viz/regions.cpp" "src/viz/CMakeFiles/gtw_viz.dir/regions.cpp.o" "gcc" "src/viz/CMakeFiles/gtw_viz.dir/regions.cpp.o.d"
+  "/root/repo/src/viz/workbench.cpp" "src/viz/CMakeFiles/gtw_viz.dir/workbench.cpp.o" "gcc" "src/viz/CMakeFiles/gtw_viz.dir/workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fire/CMakeFiles/gtw_fire.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gtw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

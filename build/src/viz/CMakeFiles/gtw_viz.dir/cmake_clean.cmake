@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_viz.dir/merge.cpp.o"
+  "CMakeFiles/gtw_viz.dir/merge.cpp.o.d"
+  "CMakeFiles/gtw_viz.dir/regions.cpp.o"
+  "CMakeFiles/gtw_viz.dir/regions.cpp.o.d"
+  "CMakeFiles/gtw_viz.dir/workbench.cpp.o"
+  "CMakeFiles/gtw_viz.dir/workbench.cpp.o.d"
+  "libgtw_viz.a"
+  "libgtw_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

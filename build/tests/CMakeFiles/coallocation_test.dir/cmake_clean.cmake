@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coallocation_test.dir/coallocation_test.cpp.o"
+  "CMakeFiles/coallocation_test.dir/coallocation_test.cpp.o.d"
+  "coallocation_test"
+  "coallocation_test.pdb"
+  "coallocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coallocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

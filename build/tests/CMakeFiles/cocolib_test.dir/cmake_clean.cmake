@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocolib_test.dir/cocolib_test.cpp.o"
+  "CMakeFiles/cocolib_test.dir/cocolib_test.cpp.o.d"
+  "cocolib_test"
+  "cocolib_test.pdb"
+  "cocolib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocolib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

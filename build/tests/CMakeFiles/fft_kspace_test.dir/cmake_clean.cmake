@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_kspace_test.dir/fft_kspace_test.cpp.o"
+  "CMakeFiles/fft_kspace_test.dir/fft_kspace_test.cpp.o.d"
+  "fft_kspace_test"
+  "fft_kspace_test.pdb"
+  "fft_kspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_kspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_kernels_test.dir/fire_kernels_test.cpp.o"
+  "CMakeFiles/fire_kernels_test.dir/fire_kernels_test.cpp.o.d"
+  "fire_kernels_test"
+  "fire_kernels_test.pdb"
+  "fire_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

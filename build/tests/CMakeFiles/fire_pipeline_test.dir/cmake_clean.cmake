@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_pipeline_test.dir/fire_pipeline_test.cpp.o"
+  "CMakeFiles/fire_pipeline_test.dir/fire_pipeline_test.cpp.o.d"
+  "fire_pipeline_test"
+  "fire_pipeline_test.pdb"
+  "fire_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_property_test.dir/fire_property_test.cpp.o"
+  "CMakeFiles/fire_property_test.dir/fire_property_test.cpp.o.d"
+  "fire_property_test"
+  "fire_property_test.pdb"
+  "fire_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

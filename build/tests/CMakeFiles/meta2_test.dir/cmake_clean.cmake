@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta2_test.dir/meta2_test.cpp.o"
+  "CMakeFiles/meta2_test.dir/meta2_test.cpp.o.d"
+  "meta2_test"
+  "meta2_test.pdb"
+  "meta2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_quality_test.dir/net_quality_test.cpp.o"
+  "CMakeFiles/net_quality_test.dir/net_quality_test.cpp.o.d"
+  "net_quality_test"
+  "net_quality_test.pdb"
+  "net_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

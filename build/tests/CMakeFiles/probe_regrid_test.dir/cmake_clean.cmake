@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_regrid_test.dir/probe_regrid_test.cpp.o"
+  "CMakeFiles/probe_regrid_test.dir/probe_regrid_test.cpp.o.d"
+  "probe_regrid_test"
+  "probe_regrid_test.pdb"
+  "probe_regrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_regrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/net_link_test[1]_include.cmake")
+include("/root/repo/build/tests/net_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/meta_test[1]_include.cmake")
+include("/root/repo/build/tests/fire_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/fire_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/meta2_test[1]_include.cmake")
+include("/root/repo/build/tests/net_quality_test[1]_include.cmake")
+include("/root/repo/build/tests/fire_property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_property_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_regions_test[1]_include.cmake")
+include("/root/repo/build/tests/coallocation_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_regrid_test[1]_include.cmake")
+include("/root/repo/build/tests/cocolib_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_kspace_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
