@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "fire/pipeline.hpp"
 #include "scanner/phantom.hpp"
@@ -69,14 +70,46 @@ void print_fig2() {
   std::printf("3-D merge on Onyx2: %zu anatomical voxels flagged active, "
               "peak r = %.2f\n", merged.activated_voxels,
               merged.peak_correlation);
-  std::printf("(ground truth: %zu functional voxels were driven)\n\n",
-              [&] {
-                std::size_t n = 0;
-                const auto mask = gen.activation_mask();
-                for (std::size_t i = 0; i < mask.size(); ++i)
-                  if (mask[i]) ++n;
-                return n;
-              }());
+  const std::size_t driven = [&] {
+    std::size_t n = 0;
+    const auto mask = gen.activation_mask();
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) ++n;
+    return n;
+  }();
+  std::printf("(ground truth: %zu functional voxels were driven)\n", driven);
+
+  std::ofstream json("BENCH_fig2_fmri_pipeline.json");
+  json << "{\n  \"bench\": \"fig2_fmri_pipeline\",\n"
+       << "  \"n_scans\": " << cfg.n_scans << ",\n  \"t3e_pes\": "
+       << cfg.t3e_pes << ",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  \"mean_total_delay_s\": %.17g,\n"
+                "  \"sustained_period_s\": %.17g,\n",
+                res.mean_total_delay_s, res.sustained_period_s);
+  json << buf << "  \"records\": [\n";
+  for (std::size_t i = 0; i < res.records.size(); ++i) {
+    const auto& r = res.records[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"scan\": %d, \"acquired_s\": %.17g, "
+                  "\"at_server_s\": %.17g, \"at_compute_s\": %.17g, "
+                  "\"processed_s\": %.17g, \"at_client_s\": %.17g, "
+                  "\"displayed_s\": %.17g}%s",
+                  r.index, r.acquired.sec(), r.at_server.sec(),
+                  r.at_compute.sec(), r.processed.sec(), r.at_client.sec(),
+                  r.displayed.sec(),
+                  i + 1 < res.records.size() ? ",\n" : "\n");
+    json << buf;
+  }
+  json << "  ],\n  \"merge\": {\"activated_voxels\": "
+       << merged.activated_voxels;
+  std::snprintf(buf, sizeof buf, ", \"peak_correlation\": %.17g",
+                static_cast<double>(merged.peak_correlation));
+  json << buf << ", \"driven_voxels\": " << driven << "}\n}\n";
+  json.flush();
+  std::printf(json ? "[wrote BENCH_fig2_fmri_pipeline.json]\n\n"
+                   : "[failed to write BENCH_fig2_fmri_pipeline.json]\n\n");
 }
 
 void BM_AnalysisScan(benchmark::State& state) {

@@ -183,12 +183,7 @@ bench/CMakeFiles/a2_pipelining.dir/a2_pipelining.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/fire/pipeline.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -203,8 +198,16 @@ bench/CMakeFiles/a2_pipelining.dir/a2_pipelining.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/fire/pipeline.hpp \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -220,7 +223,6 @@ bench/CMakeFiles/a2_pipelining.dir/a2_pipelining.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/des/time.hpp /root/repo/src/exec/machine.hpp \
  /root/repo/src/fire/analysis.hpp /usr/include/c++/12/optional \
  /root/repo/src/fire/correlation.hpp /root/repo/src/fire/volume.hpp \
@@ -249,10 +251,13 @@ bench/CMakeFiles/a2_pipelining.dir/a2_pipelining.cpp.o: \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/fire/filters.hpp \
  /root/repo/src/fire/motion.hpp /root/repo/src/fire/rigid.hpp \
  /root/repo/src/fire/reference.hpp /root/repo/src/fire/rvo.hpp \
- /root/repo/src/fire/workload.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/fire/workload.hpp /root/repo/src/flow/graph.hpp \
+ /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/flow/metrics.hpp /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
- /usr/include/c++/12/any /root/repo/src/net/tcp.hpp \
- /root/repo/src/net/units.hpp /root/repo/src/testbed/testbed.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/des/random.hpp /root/repo/src/des/stats.hpp \
- /root/repo/src/net/hippi.hpp
+ /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
+ /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/des/random.hpp \
+ /root/repo/src/des/stats.hpp /root/repo/src/net/hippi.hpp

@@ -220,8 +220,7 @@ bench/CMakeFiles/a3_mtu_window.dir/a3_mtu_window.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/des/time.hpp \
  /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
  /root/repo/src/net/packet.hpp /root/repo/src/net/units.hpp \
  /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \

@@ -183,9 +183,7 @@ bench/CMakeFiles/e2_delay_budget.dir/e2_delay_budget.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/fire/pipeline.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/memory \
+ /root/repo/src/fire/pipeline.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -220,7 +218,6 @@ bench/CMakeFiles/e2_delay_budget.dir/e2_delay_budget.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/des/time.hpp /root/repo/src/exec/machine.hpp \
  /root/repo/src/fire/analysis.hpp /usr/include/c++/12/optional \
  /root/repo/src/fire/correlation.hpp /root/repo/src/fire/volume.hpp \
@@ -249,10 +246,14 @@ bench/CMakeFiles/e2_delay_budget.dir/e2_delay_budget.cpp.o: \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/fire/filters.hpp \
  /root/repo/src/fire/motion.hpp /root/repo/src/fire/rigid.hpp \
  /root/repo/src/fire/reference.hpp /root/repo/src/fire/rvo.hpp \
- /root/repo/src/fire/workload.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/fire/workload.hpp /root/repo/src/flow/graph.hpp \
+ /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/flow/metrics.hpp /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
- /usr/include/c++/12/any /root/repo/src/net/tcp.hpp \
- /root/repo/src/net/units.hpp /root/repo/src/meta/coallocation.hpp \
+ /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
+ /root/repo/src/meta/coallocation.hpp \
  /root/repo/src/meta/metacomputer.hpp /root/repo/src/testbed/testbed.hpp \
  /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/des/random.hpp /root/repo/src/des/stats.hpp \

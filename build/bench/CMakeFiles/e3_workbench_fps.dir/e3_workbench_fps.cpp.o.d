@@ -219,12 +219,13 @@ bench/CMakeFiles/e3_workbench_fps.dir/e3_workbench_fps.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/host.hpp \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/des/time.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /usr/include/c++/12/any /root/repo/src/net/link.hpp \
  /root/repo/src/des/random.hpp /root/repo/src/des/stats.hpp \
  /root/repo/src/net/hippi.hpp /root/repo/src/viz/workbench.hpp \
+ /root/repo/src/flow/graph.hpp /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/src/net/tcp.hpp

@@ -220,15 +220,15 @@ bench/CMakeFiles/e4_applications.dir/e4_applications.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/des/time.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/meta/metacomputer.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
  /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/apps/cocolib.hpp \
- /root/repo/src/apps/groundwater.hpp /root/repo/src/des/random.hpp \
- /root/repo/src/fire/volume.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/apps/cocolib.hpp /root/repo/src/apps/groundwater.hpp \
+ /root/repo/src/des/random.hpp /root/repo/src/fire/volume.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -250,7 +250,8 @@ bench/CMakeFiles/e4_applications.dir/e4_applications.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/apps/meg.hpp \
  /root/repo/src/linalg/eigen.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/apps/video.hpp /root/repo/src/net/datagram.hpp \
- /root/repo/src/des/stats.hpp /root/repo/src/testbed/testbed.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/net/hippi.hpp
+ /root/repo/src/apps/video.hpp /root/repo/src/flow/stage.hpp \
+ /root/repo/src/flow/graph.hpp /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/net/datagram.hpp /root/repo/src/des/stats.hpp \
+ /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/net/hippi.hpp

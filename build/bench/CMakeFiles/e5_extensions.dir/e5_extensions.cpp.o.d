@@ -243,13 +243,14 @@ bench/CMakeFiles/e5_extensions.dir/e5_extensions.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/meta/communicator.hpp /usr/include/c++/12/any \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/meta/metacomputer.hpp \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/des/time.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
  /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
  /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
- /root/repo/src/net/units.hpp /root/repo/src/trace/trace.hpp \
- /root/repo/src/apps/moldyn.hpp /root/repo/src/apps/traffic.hpp \
+ /root/repo/src/net/units.hpp /root/repo/src/apps/moldyn.hpp \
+ /root/repo/src/apps/traffic.hpp /root/repo/src/flow/stage.hpp \
+ /root/repo/src/flow/graph.hpp /root/repo/src/flow/metrics.hpp \
  /root/repo/src/net/datagram.hpp /root/repo/src/des/stats.hpp \
  /root/repo/src/apps/video.hpp /root/repo/src/testbed/extensions.hpp \
  /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \

@@ -245,10 +245,11 @@ bench/CMakeFiles/fig4_workbench_viz.dir/fig4_workbench_viz.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /root/repo/src/des/stats.hpp \
- /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
- /root/repo/src/net/packet.hpp /usr/include/c++/12/any \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/des/time.hpp \
+ /root/repo/src/des/stats.hpp /root/repo/src/flow/graph.hpp \
+ /usr/include/c++/12/any /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/flow/metrics.hpp /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
  /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp

@@ -220,12 +220,12 @@ bench/CMakeFiles/m1_metampi_performance.dir/m1_metampi_performance.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/des/time.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/meta/metacomputer.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
  /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/net/probe.hpp \
- /root/repo/src/des/stats.hpp /root/repo/src/testbed/testbed.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/des/random.hpp /root/repo/src/net/hippi.hpp
+ /root/repo/src/net/probe.hpp /root/repo/src/des/stats.hpp \
+ /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/des/random.hpp \
+ /root/repo/src/net/hippi.hpp

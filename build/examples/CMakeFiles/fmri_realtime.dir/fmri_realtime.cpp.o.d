@@ -34,7 +34,7 @@ examples/CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -62,18 +62,14 @@ examples/CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
- /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/initializer_list /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/invoke.h \
- /usr/include/c++/12/bits/stl_function.h \
- /usr/include/c++/12/backward/binders.h \
- /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
@@ -125,6 +121,9 @@ examples/CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o: \
  /usr/include/c++/12/bits/locale_classes.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
+ /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -210,8 +209,7 @@ examples/CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/des/time.hpp \
  /usr/include/c++/12/limits /root/repo/src/exec/machine.hpp \
  /root/repo/src/fire/analysis.hpp /usr/include/c++/12/optional \
  /root/repo/src/fire/correlation.hpp /root/repo/src/fire/volume.hpp \
@@ -242,13 +240,16 @@ examples/CMakeFiles/fmri_realtime.dir/fmri_realtime.cpp.o: \
  /root/repo/src/fire/filters.hpp /root/repo/src/fire/motion.hpp \
  /root/repo/src/fire/rigid.hpp /root/repo/src/fire/reference.hpp \
  /root/repo/src/fire/rvo.hpp /root/repo/src/fire/workload.hpp \
- /root/repo/src/net/host.hpp /usr/include/c++/12/map \
+ /root/repo/src/flow/graph.hpp /usr/include/c++/12/any \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/cpu.hpp \
- /root/repo/src/net/packet.hpp /usr/include/c++/12/any \
- /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/scanner/phantom.hpp /root/repo/src/des/random.hpp \
- /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
- /root/repo/src/net/link.hpp /root/repo/src/des/stats.hpp \
- /root/repo/src/net/hippi.hpp /root/repo/src/viz/merge.hpp \
- /root/repo/src/viz/workbench.hpp
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
+ /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
+ /root/repo/src/net/units.hpp /root/repo/src/scanner/phantom.hpp \
+ /root/repo/src/des/random.hpp /root/repo/src/testbed/testbed.hpp \
+ /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
+ /root/repo/src/des/stats.hpp /root/repo/src/net/hippi.hpp \
+ /root/repo/src/viz/merge.hpp /root/repo/src/viz/workbench.hpp

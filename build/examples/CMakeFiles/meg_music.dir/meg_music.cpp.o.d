@@ -238,12 +238,11 @@ examples/CMakeFiles/meg_music.dir/meg_music.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/des/time.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /root/repo/src/net/host.hpp \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/testbed/testbed.hpp \
+ /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
+ /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
+ /root/repo/src/net/units.hpp /root/repo/src/testbed/testbed.hpp \
  /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/des/stats.hpp /root/repo/src/net/hippi.hpp

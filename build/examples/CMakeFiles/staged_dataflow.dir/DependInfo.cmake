@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/staged_dataflow.cpp" "examples/CMakeFiles/staged_dataflow.dir/staged_dataflow.cpp.o" "gcc" "examples/CMakeFiles/staged_dataflow.dir/staged_dataflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/gtw_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/gtw_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/gtw_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gtw_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/gtw_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/fire/CMakeFiles/gtw_fire.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gtw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gtw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staged_dataflow.dir/staged_dataflow.cpp.o"
+  "CMakeFiles/staged_dataflow.dir/staged_dataflow.cpp.o.d"
+  "staged_dataflow"
+  "staged_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staged_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,11 +7,12 @@
 subdirs("des")
 subdirs("linalg")
 subdirs("net")
+subdirs("trace")
+subdirs("flow")
 subdirs("meta")
 subdirs("exec")
 subdirs("fire")
 subdirs("scanner")
 subdirs("viz")
-subdirs("trace")
 subdirs("testbed")
 subdirs("apps")

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/meta/CMakeFiles/gtw_meta.dir/DependInfo.cmake"
   "/root/repo/build/src/fire/CMakeFiles/gtw_fire.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gtw_flow.dir/DependInfo.cmake"
   "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
   )
 

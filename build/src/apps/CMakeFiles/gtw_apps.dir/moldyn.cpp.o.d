@@ -212,13 +212,12 @@ src/apps/CMakeFiles/gtw_apps.dir/moldyn.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/flow/tracing.hpp \
  /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
- /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
- /root/repo/src/net/units.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/meta/metacomputer.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

@@ -194,8 +194,7 @@ src/apps/CMakeFiles/gtw_apps.dir/video.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/net/datagram.hpp /usr/include/c++/12/any \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/flow/stage.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -210,12 +209,14 @@ src/apps/CMakeFiles/gtw_apps.dir/video.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/flow/graph.hpp /usr/include/c++/12/any \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/des/scheduler.hpp \
  /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
+ /root/repo/src/flow/metrics.hpp /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/net/datagram.hpp \
  /root/repo/src/des/stats.hpp /root/repo/src/net/host.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/cpu.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/net/units.hpp
+ /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/units.hpp /root/repo/src/net/tcp.hpp

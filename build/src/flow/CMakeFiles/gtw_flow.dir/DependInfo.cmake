@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/graph.cpp" "src/flow/CMakeFiles/gtw_flow.dir/graph.cpp.o" "gcc" "src/flow/CMakeFiles/gtw_flow.dir/graph.cpp.o.d"
+  "/root/repo/src/flow/metrics.cpp" "src/flow/CMakeFiles/gtw_flow.dir/metrics.cpp.o" "gcc" "src/flow/CMakeFiles/gtw_flow.dir/metrics.cpp.o.d"
+  "/root/repo/src/flow/stage.cpp" "src/flow/CMakeFiles/gtw_flow.dir/stage.cpp.o" "gcc" "src/flow/CMakeFiles/gtw_flow.dir/stage.cpp.o.d"
+  "/root/repo/src/flow/tracing.cpp" "src/flow/CMakeFiles/gtw_flow.dir/tracing.cpp.o" "gcc" "src/flow/CMakeFiles/gtw_flow.dir/tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtw_flow.dir/graph.cpp.o"
+  "CMakeFiles/gtw_flow.dir/graph.cpp.o.d"
+  "CMakeFiles/gtw_flow.dir/metrics.cpp.o"
+  "CMakeFiles/gtw_flow.dir/metrics.cpp.o.d"
+  "CMakeFiles/gtw_flow.dir/stage.cpp.o"
+  "CMakeFiles/gtw_flow.dir/stage.cpp.o.d"
+  "CMakeFiles/gtw_flow.dir/tracing.cpp.o"
+  "CMakeFiles/gtw_flow.dir/tracing.cpp.o.d"
+  "libgtw_flow.a"
+  "libgtw_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtw_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

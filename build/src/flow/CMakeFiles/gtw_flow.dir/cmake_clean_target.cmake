@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgtw_flow.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for gtw_flow.
+# This may be replaced when dependencies are built.

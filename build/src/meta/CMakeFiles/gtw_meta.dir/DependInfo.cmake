@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gtw_flow.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

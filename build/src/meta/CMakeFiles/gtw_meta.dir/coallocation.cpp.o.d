@@ -213,10 +213,9 @@ src/meta/CMakeFiles/gtw_meta.dir/coallocation.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/net/cpu.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
  /root/repo/src/net/units.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -214,13 +214,13 @@ src/meta/CMakeFiles/gtw_meta.dir/communicator.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/trace/trace.hpp \
  /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
  /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
  /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
- /root/repo/src/net/units.hpp /root/repo/src/trace/trace.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/net/units.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \

@@ -212,10 +212,9 @@ src/meta/CMakeFiles/gtw_meta.dir/ports.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/meta/communicator.hpp /usr/include/c++/12/any \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/meta/metacomputer.hpp \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
- /usr/include/c++/12/limits /root/repo/src/net/host.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/flow/tracing.hpp \
+ /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
+ /root/repo/src/trace/trace.hpp /root/repo/src/meta/metacomputer.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/trace/trace.hpp
+ /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp

@@ -139,6 +139,5 @@ src/net/CMakeFiles/gtw_net.dir/cpu.cpp.o: /root/repo/src/net/cpu.cpp \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/des/time.hpp \
  /usr/include/c++/12/limits

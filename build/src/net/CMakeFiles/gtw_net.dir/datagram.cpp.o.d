@@ -137,13 +137,10 @@ src/net/CMakeFiles/gtw_net.dir/datagram.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
- /root/repo/src/des/stats.hpp /root/repo/src/net/host.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/des/stats.hpp \
+ /root/repo/src/net/host.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -217,4 +214,6 @@ src/net/CMakeFiles/gtw_net.dir/datagram.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/cpu.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/net/units.hpp
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/units.hpp

@@ -210,11 +210,10 @@ src/net/CMakeFiles/gtw_net.dir/host.cpp.o: /root/repo/src/net/host.cpp \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/net/cpu.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /usr/include/c++/12/any /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

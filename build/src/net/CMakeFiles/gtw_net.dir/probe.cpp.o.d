@@ -212,8 +212,7 @@ src/net/CMakeFiles/gtw_net.dir/probe.cpp.o: /root/repo/src/net/probe.cpp \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/des/stats.hpp \
  /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
  /root/repo/src/net/host.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /root/repo/src/net/cpu.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/cpu.hpp \
  /root/repo/src/net/packet.hpp /usr/include/c++/12/any \
  /root/repo/src/net/units.hpp

@@ -210,12 +210,11 @@ src/testbed/CMakeFiles/gtw_testbed.dir/testbed.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
- /root/repo/src/net/atm.hpp /root/repo/src/net/host.hpp \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /usr/include/c++/12/any /root/repo/src/net/link.hpp \
  /root/repo/src/des/random.hpp /root/repo/src/des/stats.hpp \
  /root/repo/src/net/units.hpp /root/repo/src/net/hippi.hpp

@@ -18,6 +18,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/des/CMakeFiles/gtw_des.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/gtw_net.dir/DependInfo.cmake"
   "/root/repo/build/src/fire/CMakeFiles/gtw_fire.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gtw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gtw_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/gtw_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/exec/CMakeFiles/gtw_exec.dir/DependInfo.cmake"
   )

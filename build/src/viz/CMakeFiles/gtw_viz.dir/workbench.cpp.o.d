@@ -102,11 +102,9 @@ src/viz/CMakeFiles/gtw_viz.dir/workbench.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /usr/include/c++/12/limits \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/des/time.hpp \
+ /usr/include/c++/12/limits /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
@@ -139,9 +137,13 @@ src/viz/CMakeFiles/gtw_viz.dir/workbench.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/des/stats.hpp \
- /root/repo/src/net/host.hpp /usr/include/c++/12/map \
+ /root/repo/src/flow/graph.hpp /usr/include/c++/12/any \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/net/host.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -214,5 +216,6 @@ src/viz/CMakeFiles/gtw_viz.dir/workbench.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/cpu.hpp \
- /root/repo/src/net/packet.hpp /usr/include/c++/12/any \
- /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp
+ /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
+ /root/repo/src/net/units.hpp /root/repo/src/flow/stage.hpp \
+ /root/repo/src/net/datagram.hpp

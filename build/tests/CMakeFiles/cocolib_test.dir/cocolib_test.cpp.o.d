@@ -317,12 +317,11 @@ tests/CMakeFiles/cocolib_test.dir/cocolib_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/apps/cocolib.hpp \
  /root/repo/src/meta/communicator.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/des/time.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/meta/metacomputer.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
  /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/testbed/testbed.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/des/random.hpp /root/repo/src/des/stats.hpp \
- /root/repo/src/net/hippi.hpp
+ /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/des/random.hpp \
+ /root/repo/src/des/stats.hpp /root/repo/src/net/hippi.hpp

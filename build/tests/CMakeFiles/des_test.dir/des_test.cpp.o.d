@@ -294,7 +294,4 @@ tests/CMakeFiles/des_test.dir/des_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/des/random.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
- /root/repo/src/des/stats.hpp
+ /root/repo/src/des/time.hpp /root/repo/src/des/stats.hpp

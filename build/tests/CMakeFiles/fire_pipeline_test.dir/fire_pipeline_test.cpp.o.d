@@ -293,14 +293,11 @@ tests/CMakeFiles/fire_pipeline_test.dir/fire_pipeline_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/fire/pipeline.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/des/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
- /root/repo/src/exec/machine.hpp /root/repo/src/fire/analysis.hpp \
- /root/repo/src/fire/correlation.hpp /root/repo/src/fire/volume.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/fire/pipeline.hpp /root/repo/src/des/scheduler.hpp \
+ /root/repo/src/des/time.hpp /root/repo/src/exec/machine.hpp \
+ /root/repo/src/fire/analysis.hpp /root/repo/src/fire/correlation.hpp \
+ /root/repo/src/fire/volume.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -324,10 +321,13 @@ tests/CMakeFiles/fire_pipeline_test.dir/fire_pipeline_test.cpp.o: \
  /root/repo/src/linalg/matrix.hpp /root/repo/src/fire/filters.hpp \
  /root/repo/src/fire/motion.hpp /root/repo/src/fire/rigid.hpp \
  /root/repo/src/fire/reference.hpp /root/repo/src/fire/rvo.hpp \
- /root/repo/src/fire/workload.hpp /root/repo/src/net/host.hpp \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/scanner/phantom.hpp /root/repo/src/des/random.hpp \
- /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
- /root/repo/src/net/link.hpp /root/repo/src/des/stats.hpp \
- /root/repo/src/net/hippi.hpp
+ /root/repo/src/fire/workload.hpp /root/repo/src/flow/graph.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
+ /root/repo/src/net/packet.hpp /root/repo/src/net/tcp.hpp \
+ /root/repo/src/net/units.hpp /root/repo/src/scanner/phantom.hpp \
+ /root/repo/src/des/random.hpp /root/repo/src/testbed/testbed.hpp \
+ /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
+ /root/repo/src/des/stats.hpp /root/repo/src/net/hippi.hpp

@@ -294,11 +294,10 @@ tests/CMakeFiles/net_property_test.dir/net_property_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/des/random.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/host.hpp \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/des/time.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/host.hpp /root/repo/src/net/cpu.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/des/stats.hpp \
  /root/repo/src/net/units.hpp /root/repo/src/net/tcp.hpp \
  /root/repo/src/testbed/testbed.hpp /root/repo/src/net/hippi.hpp

@@ -297,17 +297,16 @@ tests/CMakeFiles/viz_regions_test.dir/viz_regions_test.cpp.o: \
  /root/repo/src/linalg/eigen.hpp /root/repo/src/linalg/matrix.hpp \
  /root/repo/src/meta/communicator.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/meta/metacomputer.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/des/time.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/des/time.hpp \
+ /root/repo/src/trace/trace.hpp /root/repo/src/meta/metacomputer.hpp \
+ /root/repo/src/des/scheduler.hpp /root/repo/src/net/host.hpp \
  /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
  /root/repo/src/net/tcp.hpp /root/repo/src/net/units.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/testbed/testbed.hpp \
- /root/repo/src/net/atm.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/des/stats.hpp /root/repo/src/net/hippi.hpp \
- /root/repo/src/viz/regions.hpp /root/repo/src/fire/volume.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/testbed/testbed.hpp /root/repo/src/net/atm.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/des/stats.hpp \
+ /root/repo/src/net/hippi.hpp /root/repo/src/viz/regions.hpp \
+ /root/repo/src/fire/volume.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -293,8 +293,9 @@ tests/CMakeFiles/viz_trace_test.dir/viz_trace_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/fire/volume.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cstring /root/repo/src/fire/volume.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -316,13 +317,13 @@ tests/CMakeFiles/viz_trace_test.dir/viz_trace_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/net/atm.hpp \
  /root/repo/src/net/host.hpp /root/repo/src/des/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/des/time.hpp \
- /root/repo/src/net/cpu.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/des/time.hpp /root/repo/src/net/cpu.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /root/repo/src/net/link.hpp /root/repo/src/des/random.hpp \
  /root/repo/src/des/stats.hpp /root/repo/src/net/units.hpp \
  /root/repo/src/scanner/phantom.hpp /root/repo/src/fire/reference.hpp \
  /root/repo/src/fire/rigid.hpp /root/repo/src/trace/trace.hpp \
  /root/repo/src/viz/merge.hpp /root/repo/src/viz/workbench.hpp \
- /root/repo/src/net/tcp.hpp
+ /root/repo/src/flow/graph.hpp /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/flow/tracing.hpp /root/repo/src/net/tcp.hpp

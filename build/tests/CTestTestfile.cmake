@@ -5,6 +5,9 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_property_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_integration_test[1]_include.cmake")
 include("/root/repo/build/tests/linalg_test[1]_include.cmake")
 include("/root/repo/build/tests/net_link_test[1]_include.cmake")
 include("/root/repo/build/tests/net_tcp_test[1]_include.cmake")

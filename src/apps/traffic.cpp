@@ -105,37 +105,45 @@ DistributedTrafficViz::DistributedTrafficViz(net::Host& sim_host,
                                              des::SimTime step_interval,
                                              std::uint16_t port)
     : sim_host_(sim_host), viz_id_(viz_host.id()), port_(port), road_(cfg),
-      steps_(steps), interval_(step_interval),
       tx_(sim_host, static_cast<std::uint16_t>(port + 1)),
-      rx_(viz_host, port) {
+      rx_(viz_host, port), graph_(sim_host.scheduler()),
+      source_(graph_,
+              flow::PeriodicSource::Config{step_interval, steps,
+                                           /*immediate_first=*/true},
+              nullptr,
+              [this]() {
+                // Final accounting once the network drains (schedule far
+                // enough out).
+                auto& sched = sim_host_.scheduler();
+                sched.schedule_after(
+                    des::SimTime::milliseconds(50), [this, &sched]() {
+                      result_.elapsed_s = (sched.now() - started_).sec();
+                      result_.final_mean_speed = road_.mean_speed();
+                      if (result_.elapsed_s > 0.0)
+                        result_.frames_per_s =
+                            static_cast<double>(result_.frames_delivered) /
+                            result_.elapsed_s;
+                    });
+              }) {
   result_.frame_bytes = static_cast<std::uint64_t>(cfg.cells);
   rx_.on_receive([this](const net::IpPacket&) { ++result_.frames_delivered; });
+  graph_.add_stage(flow::inline_stage(
+      "simulate", [this](flow::StageContext, flow::Item&) {
+        road_.step();
+        ++result_.steps_simulated;
+      }));
+  // Ship the occupancy frame to the visualization site.
+  graph_.add_stage(flow::datagram_transfer_stage(
+      "publish", tx_, viz_id_, port_,
+      [this](const flow::Item&) {
+        return static_cast<std::uint32_t>(result_.frame_bytes);
+      },
+      /*number_frames=*/false));
 }
 
 void DistributedTrafficViz::start() {
   started_ = sim_host_.scheduler().now();
-  tick();
-}
-
-void DistributedTrafficViz::tick() {
-  road_.step();
-  ++result_.steps_simulated;
-  // Ship the occupancy frame to the visualization site.
-  tx_.send_to(viz_id_, port_, static_cast<std::uint32_t>(result_.frame_bytes),
-              std::any{});
-  auto& sched = sim_host_.scheduler();
-  if (result_.steps_simulated >= steps_) {
-    // Final accounting once the network drains (schedule far enough out).
-    sched.schedule_after(des::SimTime::milliseconds(50), [this, &sched]() {
-      result_.elapsed_s = (sched.now() - started_).sec();
-      result_.final_mean_speed = road_.mean_speed();
-      if (result_.elapsed_s > 0.0)
-        result_.frames_per_s = static_cast<double>(result_.frames_delivered) /
-                               result_.elapsed_s;
-    });
-    return;
-  }
-  sched.schedule_after(interval_, [this]() { tick(); });
+  source_.start();
 }
 
 }  // namespace gtw::apps

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "des/random.hpp"
+#include "flow/stage.hpp"
 #include "net/datagram.hpp"
 #include "net/host.hpp"
 
@@ -83,17 +84,20 @@ class DistributedTrafficViz {
   void start();
   const TrafficVizResult& result() const { return result_; }
 
- private:
-  void tick();
+  // Stage events as trace ranks 0 (simulate) / 1 (publish).
+  void attach_trace(trace::TraceRecorder* rec) { graph_.attach_trace(rec); }
+  const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
 
+ private:
   net::Host& sim_host_;
   net::HostId viz_id_;
   std::uint16_t port_;
   NaschRoad road_;
-  int steps_;
-  des::SimTime interval_;
   net::DatagramSocket tx_;
   net::DatagramSocket rx_;
+  // Two-stage flow graph per CA step: advance the road, ship the frame.
+  flow::StageGraph graph_;
+  flow::PeriodicSource source_;
   des::SimTime started_;
   TrafficVizResult result_;
 };

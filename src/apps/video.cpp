@@ -4,14 +4,17 @@ namespace gtw::apps {
 
 D1VideoSession::D1VideoSession(net::Host& source, net::Host& sink,
                                D1VideoConfig cfg, std::uint16_t port_base)
-    : cfg_(cfg), sink_(sink, port_base),
-      source_(source, static_cast<std::uint16_t>(port_base + 1), sink.id(),
-              port_base,
-              net::CbrSource::Config{
-                  cfg.frame_bytes(),
-                  des::SimTime::seconds(1.0 / cfg.fps),
-                  static_cast<std::uint64_t>(cfg.frames)}),
-      sched_(source.scheduler()) {}
+    : cfg_(cfg), sink_(sink, port_base), sched_(source.scheduler()),
+      socket_(source, static_cast<std::uint16_t>(port_base + 1)),
+      interval_(des::SimTime::seconds(1.0 / cfg.fps)),
+      graph_(source.scheduler()),
+      source_(graph_,
+              flow::PeriodicSource::Config{interval_, cfg.frames, false}) {
+  graph_.add_stage(flow::datagram_transfer_stage(
+      "uplink", socket_, sink.id(), port_base,
+      [this](const flow::Item&) { return cfg_.frame_bytes(); },
+      /*number_frames=*/true, /*concurrency=*/0));
+}
 
 void D1VideoSession::start() {
   started_ = sched_.now();
@@ -20,7 +23,7 @@ void D1VideoSession::start() {
 
 D1VideoReport D1VideoSession::report() const {
   D1VideoReport rep;
-  rep.frames_sent = source_.frames_sent();
+  rep.frames_sent = static_cast<std::uint64_t>(source_.emitted());
   rep.frames_received = sink_.frames_received();
   // Sequence-gap counting (CbrSink::frames_lost) underestimates here: a
   // frame with any dropped fragment never completes reassembly, so its
@@ -28,7 +31,10 @@ D1VideoReport D1VideoSession::report() const {
   rep.frames_lost = rep.frames_sent >= rep.frames_received
                         ? rep.frames_sent - rep.frames_received
                         : 0;
-  rep.offered_bps = source_.offered_rate_bps();
+  rep.offered_bps = interval_ > des::SimTime::zero()
+                        ? static_cast<double>(cfg_.frame_bytes()) * 8.0 /
+                              interval_.sec()
+                        : 0.0;
   const des::SimTime span = sched_.now() - started_;
   rep.goodput_bps = sink_.goodput_bps(span);
   rep.jitter_ms = sink_.interarrival_ms().stddev();

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "flow/stage.hpp"
 #include "net/datagram.hpp"
 #include "net/host.hpp"
 
@@ -42,11 +43,19 @@ class D1VideoSession {
   // Call after the scheduler drained.
   D1VideoReport report() const;
 
+  // Uplink send events as trace rank 0.
+  void attach_trace(trace::TraceRecorder* rec) { graph_.attach_trace(rec); }
+  const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
+
  private:
   D1VideoConfig cfg_;
   net::CbrSink sink_;
-  net::CbrSource source_;
   des::Scheduler& sched_;
+  net::DatagramSocket socket_;
+  des::SimTime interval_;
+  // The CBR stream is a one-stage flow graph fed at the PAL frame cadence.
+  flow::StageGraph graph_;
+  flow::PeriodicSource source_;
   des::SimTime started_;
 };
 

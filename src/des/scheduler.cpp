@@ -1,5 +1,6 @@
 #include "des/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gtw::des {
@@ -18,7 +19,8 @@ bool EventHandle::pending() const {
 EventHandle Scheduler::schedule_at(SimTime when, Action action) {
   assert(when >= now_ && "cannot schedule into the past");
   auto* e = new Entry{when, next_seq_++, std::move(action), false};
-  queue_.push(e);
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Order{});
   ++live_events_;
   pending_.emplace(e->seq, e);
   return EventHandle{this, e->seq};
@@ -30,6 +32,22 @@ void Scheduler::cancel(std::uint64_t seq) {
   it->second->cancelled = true;
   pending_.erase(it);
   --live_events_;
+  ++cancelled_in_heap_;
+  if (cancelled_in_heap_ > heap_.size() - cancelled_in_heap_)
+    sweep_cancelled();
+}
+
+void Scheduler::sweep_cancelled() {
+  auto alive = heap_.begin();
+  for (Entry* e : heap_) {
+    if (e->cancelled)
+      delete e;
+    else
+      *alive++ = e;
+  }
+  heap_.erase(alive, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Order{});
+  cancelled_in_heap_ = 0;
 }
 
 bool Scheduler::is_pending(std::uint64_t seq) const {
@@ -37,15 +55,18 @@ bool Scheduler::is_pending(std::uint64_t seq) const {
 }
 
 bool Scheduler::step(SimTime horizon) {
-  while (!queue_.empty()) {
-    Entry* e = queue_.top();
+  while (!heap_.empty()) {
+    Entry* e = heap_.front();
     if (e->cancelled) {
-      queue_.pop();
+      std::pop_heap(heap_.begin(), heap_.end(), Order{});
+      heap_.pop_back();
+      --cancelled_in_heap_;
       delete e;
       continue;
     }
     if (e->when > horizon) return false;
-    queue_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Order{});
+    heap_.pop_back();
     pending_.erase(e->seq);
     --live_events_;
     now_ = e->when;
@@ -61,15 +82,12 @@ bool Scheduler::step(SimTime horizon) {
 std::uint64_t Scheduler::run(SimTime horizon) {
   std::uint64_t n = 0;
   while (step(horizon)) ++n;
-  if (!queue_.empty() && horizon != SimTime::max()) now_ = horizon;
+  if (!heap_.empty() && horizon != SimTime::max()) now_ = horizon;
   return n;
 }
 
 Scheduler::~Scheduler() {
-  while (!queue_.empty()) {
-    delete queue_.top();
-    queue_.pop();
-  }
+  for (Entry* e : heap_) delete e;
 }
 
 }  // namespace gtw::des

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +60,10 @@ class Scheduler {
 
   bool empty() const { return live_events_ == 0; }
   std::uint64_t events_executed() const { return executed_; }
+  // Heap entries including cancelled ones not yet swept/popped — lets tests
+  // observe that cancellation churn does not accumulate garbage.
+  std::size_t queued_entries() const { return heap_.size(); }
+  std::size_t cancelled_entries() const { return cancelled_in_heap_; }
 
  private:
   friend class EventHandle;
@@ -80,14 +83,20 @@ class Scheduler {
 
   void cancel(std::uint64_t seq);
   bool is_pending(std::uint64_t seq) const;
+  void sweep_cancelled();
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t live_events_ = 0;
-  // Entries are heap-allocated; the queue orders raw pointers and pending_
-  // indexes them by sequence number for O(1) cancellation.
-  std::priority_queue<Entry*, std::vector<Entry*>, Order> queue_;
+  // Entries are heap-allocated; heap_ is a binary heap (std::push_heap /
+  // std::pop_heap over Order) of raw pointers and pending_ indexes them by
+  // sequence number for O(1) cancellation.  Cancelled entries are deleted
+  // lazily when popped, but once they outnumber the live entries the whole
+  // heap is swept and rebuilt so cancellation-heavy workloads (retransmit
+  // timers, superseded frames) stay O(live), not O(ever-scheduled).
+  std::vector<Entry*> heap_;
+  std::size_t cancelled_in_heap_ = 0;
   std::unordered_map<std::uint64_t, Entry*> pending_;
 };
 

@@ -4,11 +4,24 @@
 
 namespace gtw::fire {
 
+flow::GraphConfig FmriPipeline::graph_config(const PipelineConfig& cfg) {
+  flow::GraphConfig g;
+  if (cfg.mode == PipelineMode::kSequential) {
+    // "A new image is requested from the RT-server only after the
+    // processing and displaying of the previous one is completed"; the
+    // RT-server answers with the newest image it holds, so a slow loop
+    // skips stale scans rather than building a backlog.
+    g.max_in_flight = 1;
+    g.admission = flow::QueuePolicy::kDropStale;
+  }
+  return g;
+}
+
 FmriPipeline::FmriPipeline(des::Scheduler& sched, Hosts hosts,
                            PipelineConfig cfg, ImageSource source,
                            AnalysisEngine* engine)
     : sched_(sched), hosts_(hosts), cfg_(cfg), source_(std::move(source)),
-      engine_(engine) {
+      engine_(engine), graph_(sched, graph_config(cfg)) {
   records_.resize(static_cast<std::size_t>(cfg_.n_scans));
   net::TcpConfig tcp;
   tcp.recv_buffer = 4u << 20;
@@ -21,6 +34,87 @@ FmriPipeline::FmriPipeline(des::Scheduler& sched, Hosts hosts,
     to_compute_ = std::make_unique<net::TcpConnection>(
         *hosts_.scanner_frontend, *hosts_.client, 6000, 6001, tcp);
   }
+  build_graph();
+}
+
+void FmriPipeline::build_graph() {
+  // Half the RPC handshake budget wraps the forward leg, half the return.
+  const des::SimTime half_rpc =
+      des::SimTime::picoseconds(cfg_.rpc_overhead.ps() / 2);
+
+  flow::StageConfig transfer;
+  transfer.name = "transfer";
+  transfer.concurrency = 1;  // one forward transfer at a time
+  transfer.body = [this, half_rpc](flow::StageContext ctx, flow::Item& it,
+                                   flow::Done done) {
+    const int index = it.index;
+    records_[static_cast<std::size_t>(index)].sent = sched_.now();
+    ctx.trace_send(ctx.stage + 1, static_cast<std::uint32_t>(index),
+                   cfg_.image_bytes);
+    sched_.schedule_after(half_rpc, [this, ctx, index, done]() {
+      to_compute_->send(
+          0, cfg_.image_bytes, {},
+          [this, ctx, index, done](const std::any&, des::SimTime) {
+            records_[static_cast<std::size_t>(index)].at_compute =
+                sched_.now();
+            ctx.trace_recv(ctx.stage + 1, static_cast<std::uint32_t>(index),
+                           cfg_.image_bytes);
+            // Run the real numerics, if wired up (timing still from the
+            // execution model — this host's wall clock is irrelevant).
+            if (source_ && engine_ != nullptr)
+              engine_->process_scan(source_(index));
+            done();
+          });
+    });
+  };
+  graph_.add_stage(std::move(transfer));
+
+  flow::StageConfig compute;
+  compute.name = "compute";
+  compute.concurrency = 1;  // the single T3E partition
+  compute.body = [this](flow::StageContext, flow::Item&, flow::Done done) {
+    sched_.schedule_after(compute_time(cfg_.t3e_pes), std::move(done));
+  };
+  graph_.add_stage(std::move(compute));
+
+  flow::StageConfig back;
+  back.name = "return";
+  back.concurrency = 0;
+  back.body = [this, half_rpc](flow::StageContext ctx, flow::Item& it,
+                               flow::Done done) {
+    const int index = it.index;
+    records_[static_cast<std::size_t>(index)].processed = sched_.now();
+    ctx.trace_send(ctx.stage + 1, static_cast<std::uint32_t>(index),
+                   cfg_.result_bytes);
+    auto deliver = [this, ctx, index, done](const std::any&, des::SimTime) {
+      records_[static_cast<std::size_t>(index)].at_client = sched_.now();
+      ctx.trace_recv(ctx.stage + 1, static_cast<std::uint32_t>(index),
+                     cfg_.result_bytes);
+      done();
+    };
+    if (to_client_) {
+      sched_.schedule_after(half_rpc, [this, deliver]() {
+        to_client_->send(0, cfg_.result_bytes, {}, deliver);
+      });
+    } else {
+      // Local mode: results are already on the client.
+      sched_.schedule_after(half_rpc,
+                            [this, deliver]() { deliver({}, sched_.now()); });
+    }
+  };
+  graph_.add_stage(std::move(back));
+
+  flow::StageConfig display;
+  display.name = "display";
+  display.concurrency = 0;
+  display.body = [this](flow::StageContext, flow::Item& it, flow::Done done) {
+    const int index = it.index;
+    sched_.schedule_after(cfg_.client_display, [this, index, done]() {
+      records_[static_cast<std::size_t>(index)].displayed = sched_.now();
+      done();
+    });
+  };
+  graph_.add_stage(std::move(display));
 }
 
 des::SimTime FmriPipeline::compute_time(int pes) const {
@@ -58,116 +152,14 @@ void FmriPipeline::start() {
 
 void FmriPipeline::on_image_at_server(int index) {
   records_[static_cast<std::size_t>(index)].at_server = sched_.now();
-  next_ready_ = std::max(next_ready_, index + 1);
-  maybe_dispatch();
-}
-
-void FmriPipeline::maybe_dispatch() {
-  if (next_dispatch_ >= cfg_.n_scans || next_dispatch_ >= next_ready_) return;
-  if (cfg_.mode == PipelineMode::kSequential) {
-    if (stage_busy_) return;
-    // The RT-client asks for "the next image"; the RT-server answers with
-    // the newest one it holds, so a slow pipeline skips stale scans rather
-    // than building a backlog (FIRE displays the current brain state).
-    if (next_ready_ - 1 > next_dispatch_) {
-      skipped_ += next_ready_ - 1 - next_dispatch_;
-      next_dispatch_ = next_ready_ - 1;
-    }
-    stage_busy_ = true;
-  } else {
-    if (transfer_busy_) return;
-    transfer_busy_ = true;
-  }
-  dispatch(next_dispatch_++);
-}
-
-void FmriPipeline::dispatch(int index) {
-  ScanRecord& rec = records_[static_cast<std::size_t>(index)];
-  rec.sent = sched_.now();
-
-  // Half the RPC handshake budget wraps the forward leg, half the return.
-  const des::SimTime half_rpc =
-      des::SimTime::picoseconds(cfg_.rpc_overhead.ps() / 2);
-
-  sched_.schedule_after(half_rpc, [this, index]() {
-    to_compute_->send(
-        0, cfg_.image_bytes, {},
-        [this, index](const std::any&, des::SimTime) {
-          ScanRecord& rec = records_[static_cast<std::size_t>(index)];
-          rec.at_compute = sched_.now();
-          if (cfg_.mode == PipelineMode::kPipelined) {
-            transfer_busy_ = false;
-            maybe_dispatch();
-          }
-
-          // Run the real numerics, if wired up (timing still from the
-          // execution model — this host's wall clock is irrelevant).
-          if (source_ && engine_ != nullptr)
-            engine_->process_scan(source_(index));
-
-          auto after_compute = [this, index]() {
-            ScanRecord& r2 = records_[static_cast<std::size_t>(index)];
-            r2.processed = sched_.now();
-            const des::SimTime half_rpc2 =
-                des::SimTime::picoseconds(cfg_.rpc_overhead.ps() / 2);
-            auto deliver = [this, index](const std::any&, des::SimTime) {
-              ScanRecord& r3 = records_[static_cast<std::size_t>(index)];
-              r3.at_client = sched_.now();
-              sched_.schedule_after(cfg_.client_display, [this, index]() {
-                records_[static_cast<std::size_t>(index)].displayed =
-                    sched_.now();
-                if (cfg_.mode == PipelineMode::kSequential) {
-                  stage_busy_ = false;
-                  maybe_dispatch();
-                }
-              });
-            };
-            if (to_client_) {
-              sched_.schedule_after(half_rpc2, [this, deliver]() {
-                to_client_->send(0, cfg_.result_bytes, {}, deliver);
-              });
-            } else {
-              // Local mode: results are already on the client.
-              sched_.schedule_after(half_rpc2, [this, deliver]() {
-                deliver({}, sched_.now());
-              });
-            }
-          };
-
-          const des::SimTime ct = compute_time(cfg_.t3e_pes);
-          if (cfg_.mode == PipelineMode::kPipelined) {
-            // Serialise the compute stage on the (single) T3E partition.
-            enqueue_compute(ct, after_compute);
-          } else {
-            sched_.schedule_after(ct, after_compute);
-          }
-        });
-  });
-}
-
-void FmriPipeline::enqueue_compute(des::SimTime duration,
-                                   std::function<void()> done) {
-  compute_queue_.push_back(ComputeJob{duration, std::move(done)});
-  pump_compute();
-}
-
-void FmriPipeline::pump_compute() {
-  if (compute_busy_ || compute_queue_.empty()) return;
-  compute_busy_ = true;
-  ComputeJob job = std::move(compute_queue_.front());
-  compute_queue_.pop_front();
-  sched_.schedule_after(job.duration,
-                        [this, done = std::move(job.done)]() {
-                          compute_busy_ = false;
-                          done();
-                          pump_compute();
-                        });
+  graph_.push(index);
 }
 
 PipelineResult FmriPipeline::result() const {
   PipelineResult out;
   out.records = records_;
-  out.scans_skipped = skipped_;
+  out.scans_skipped =
+      static_cast<int>(graph_.metrics().admission_dropped);
   double total = 0.0, transfer = 0.0, compute = 0.0;
   int n = 0;
   std::vector<double> display_times;

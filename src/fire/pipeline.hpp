@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "exec/machine.hpp"
 #include "fire/analysis.hpp"
 #include "fire/workload.hpp"
+#include "flow/graph.hpp"
 #include "net/host.hpp"
 #include "net/tcp.hpp"
 
@@ -108,12 +108,16 @@ class FmriPipeline {
   // Compute time per image for the enabled modules at `pes` PEs.
   des::SimTime compute_time(int pes) const;
 
+  // Record VAMPIR-style stage events (ranks = transfer/compute/return/
+  // display) into `rec`; build it with >= 4 ranks.
+  void attach_trace(trace::TraceRecorder* rec) { graph_.attach_trace(rec); }
+  // Per-stage throughput/occupancy/queue accounting from the flow engine.
+  const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
+
  private:
+  static flow::GraphConfig graph_config(const PipelineConfig& cfg);
+  void build_graph();
   void on_image_at_server(int index);
-  void maybe_dispatch();
-  void dispatch(int index);
-  void enqueue_compute(des::SimTime duration, std::function<void()> done);
-  void pump_compute();
 
   des::Scheduler& sched_;
   Hosts hosts_;
@@ -124,20 +128,12 @@ class FmriPipeline {
   std::unique_ptr<net::TcpConnection> to_compute_;   // server -> T3E
   std::unique_ptr<net::TcpConnection> to_client_;    // T3E -> client
 
+  // Both orchestration modes are admission policies on the same 4-stage
+  // graph: sequential = one scan in flight with newest-wins admission,
+  // pipelined = free admission with the transfer and compute stages each
+  // serialised at concurrency 1.
+  flow::StageGraph graph_;
   std::vector<ScanRecord> records_;
-  int next_ready_ = 0;       // images available at the server
-  int next_dispatch_ = 0;    // next image to push into the pipeline
-  int skipped_ = 0;          // stale scans the sequential client never saw
-  bool stage_busy_ = false;  // sequential mode: whole pipeline busy
-  bool transfer_busy_ = false;   // pipelined mode: forward-transfer stage
-  // Pipelined mode: the single T3E partition processes one image at a
-  // time; later arrivals queue FIFO.
-  struct ComputeJob {
-    des::SimTime duration;
-    std::function<void()> done;
-  };
-  bool compute_busy_ = false;
-  std::deque<ComputeJob> compute_queue_;
 };
 
 }  // namespace gtw::fire

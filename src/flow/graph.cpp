@@ -1,0 +1,221 @@
+#include "flow/graph.hpp"
+
+namespace gtw::flow {
+
+des::Scheduler& StageContext::scheduler() const { return graph->sched_; }
+
+des::SimTime StageContext::now() const { return graph->sched_.now(); }
+
+void StageContext::trace_send(int to_stage, std::uint32_t tag,
+                              std::uint64_t bytes) const {
+  graph->tracer_.send(static_cast<std::uint32_t>(stage),
+                      static_cast<std::uint32_t>(to_stage), tag, bytes,
+                      graph->sched_.now());
+}
+
+void StageContext::trace_recv(int at_stage, std::uint32_t tag,
+                              std::uint64_t bytes) const {
+  graph->tracer_.recv(static_cast<std::uint32_t>(at_stage),
+                      static_cast<std::uint32_t>(stage), tag, bytes,
+                      graph->sched_.now());
+}
+
+StageGraph::StageGraph(des::Scheduler& sched, GraphConfig cfg)
+    : sched_(sched), cfg_(cfg) {}
+
+int StageGraph::add_stage(StageConfig cfg) {
+  const int idx = static_cast<int>(stages_.size());
+  metrics_.add_stage(cfg.name, cfg.concurrency);
+  stages_.push_back(Stage{std::move(cfg), {}, {}, 0, false});
+  return idx;
+}
+
+const std::string& StageGraph::stage_name(int s) const {
+  return stages_[static_cast<std::size_t>(s)].cfg.name;
+}
+
+void StageGraph::push(int index, std::any payload) {
+  ++metrics_.pushed;
+  const std::uint64_t id = next_id_++;
+  ItemState st;
+  st.item.id = id;
+  st.item.index = index;
+  st.item.payload = std::move(payload);
+  live_.emplace(id, std::move(st));
+  admission_.push_back(id);
+  if (admission_.size() > metrics_.admission_peak)
+    metrics_.admission_peak = admission_.size();
+  admit_pending();
+}
+
+bool StageGraph::accepts(int s) const {
+  const Stage& st = stages_[static_cast<std::size_t>(s)];
+  if (st.cfg.policy != QueuePolicy::kBlock || st.cfg.capacity == 0)
+    return true;
+  return st.queue.size() < st.cfg.capacity;
+}
+
+void StageGraph::admit_pending() {
+  if (admitting_ || stages_.empty()) return;
+  admitting_ = true;
+  while (!admission_.empty()) {
+    if (cfg_.max_in_flight > 0 && in_flight_ >= cfg_.max_in_flight) break;
+    if (!accepts(0)) break;
+    if (cfg_.admission == QueuePolicy::kDropStale) {
+      // A newer item supersedes everything still waiting (the RT-client
+      // asks for "the next image" and gets the newest one).
+      while (admission_.size() > 1) {
+        const std::uint64_t stale = admission_.front();
+        admission_.pop_front();
+        ++metrics_.admission_dropped;
+        auto it = live_.find(stale);
+        if (drop_) drop_(it->second.item, -1);
+        live_.erase(it);
+      }
+    }
+    const std::uint64_t id = admission_.front();
+    admission_.pop_front();
+    ++in_flight_;
+    ++metrics_.admitted;
+    enqueue(0, id);
+  }
+  admitting_ = false;
+}
+
+void StageGraph::enqueue(int s, std::uint64_t id) {
+  Stage& st = stages_[static_cast<std::size_t>(s)];
+  if (st.cfg.policy == QueuePolicy::kDropNewest && st.cfg.capacity > 0 &&
+      st.queue.size() >= st.cfg.capacity) {
+    drop_queued(s, id);
+    return;
+  }
+  st.queue.push_back(id);
+  note_queue(s);
+  pump(s);
+}
+
+void StageGraph::pump(int s) {
+  Stage& st = stages_[static_cast<std::size_t>(s)];
+  if (st.pumping) return;
+  st.pumping = true;
+  while (!st.queue.empty() &&
+         (st.cfg.concurrency == 0 || st.running < st.cfg.concurrency)) {
+    if (st.cfg.policy == QueuePolicy::kDropStale) {
+      while (st.queue.size() > 1) {
+        const std::uint64_t stale = st.queue.front();
+        st.queue.pop_front();
+        drop_queued(s, stale);
+      }
+    }
+    const std::uint64_t id = st.queue.front();
+    st.queue.pop_front();
+    note_queue(s);
+    drain_blocked(s);
+    start(s, id);
+  }
+  st.pumping = false;
+}
+
+void StageGraph::start(int s, std::uint64_t id) {
+  Stage& st = stages_[static_cast<std::size_t>(s)];
+  ++st.running;
+  ItemState& is = live_.find(id)->second;
+  is.stage = s;
+  is.in_body = true;
+  is.started = sched_.now();
+  StageMetrics& m = metrics_.stage(s);
+  ++m.items_in;
+  if (!m.started) {
+    m.started = true;
+    m.first_start = is.started;
+  }
+  tracer_.enter(static_cast<std::uint32_t>(s), tracer_.state(st.cfg.name),
+                is.started);
+  st.cfg.body(StageContext{this, s}, is.item,
+              [this, s, id]() { finish(s, id); });
+  // `is` may be gone here: a synchronous Done can complete the item.
+}
+
+void StageGraph::finish(int s, std::uint64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end() || it->second.stage != s || !it->second.in_body)
+    return;  // stale or duplicate Done
+  ItemState& is = it->second;
+  is.in_body = false;
+  const des::SimTime now = sched_.now();
+  Stage& st = stages_[static_cast<std::size_t>(s)];
+  StageMetrics& m = metrics_.stage(s);
+  ++m.items_out;
+  m.busy += now - is.started;
+  m.last_finish = now;
+  tracer_.leave(static_cast<std::uint32_t>(s), tracer_.state(st.cfg.name),
+                now);
+
+  const int next = s + 1;
+  if (next < stage_count()) {
+    Stage& nx = stages_[static_cast<std::size_t>(next)];
+    if (nx.cfg.policy == QueuePolicy::kBlock && nx.cfg.capacity > 0 &&
+        nx.queue.size() >= nx.cfg.capacity) {
+      // Backpressure: keep holding this stage's slot until there is room.
+      st.blocked.push_back(id);
+      return;
+    }
+  }
+  // Release the slot and refill this stage before handing the item on, so
+  // an upstream waiter dispatches ahead of the downstream continuation —
+  // the ordering the original FIRE transfer callback used.
+  --st.running;
+  pump(s);
+  advance(s, id);
+}
+
+void StageGraph::advance(int s, std::uint64_t id) {
+  const int next = s + 1;
+  if (next < stage_count())
+    enqueue(next, id);
+  else
+    leave_graph(id);
+}
+
+void StageGraph::drain_blocked(int s) {
+  Stage& st = stages_[static_cast<std::size_t>(s)];
+  if (st.cfg.policy != QueuePolicy::kBlock || st.cfg.capacity == 0) return;
+  if (s == 0) {
+    admit_pending();
+    return;
+  }
+  Stage& up = stages_[static_cast<std::size_t>(s - 1)];
+  while (!up.blocked.empty() && st.queue.size() < st.cfg.capacity) {
+    const std::uint64_t id = up.blocked.front();
+    up.blocked.pop_front();
+    --up.running;
+    pump(s - 1);
+    enqueue(s, id);
+  }
+}
+
+void StageGraph::leave_graph(std::uint64_t id) {
+  auto it = live_.find(id);
+  ++metrics_.completed;
+  if (complete_) complete_(it->second.item);
+  live_.erase(it);
+  --in_flight_;
+  admit_pending();
+}
+
+void StageGraph::drop_queued(int s, std::uint64_t id) {
+  ++metrics_.stage(s).dropped;
+  auto it = live_.find(id);
+  if (drop_) drop_(it->second.item, s);
+  live_.erase(it);
+  --in_flight_;
+  admit_pending();
+}
+
+void StageGraph::note_queue(int s) {
+  StageMetrics& m = metrics_.stage(s);
+  m.queue_depth = stages_[static_cast<std::size_t>(s)].queue.size();
+  if (m.queue_depth > m.queue_peak) m.queue_peak = m.queue_depth;
+}
+
+}  // namespace gtw::flow

@@ -1,0 +1,50 @@
+#include "flow/metrics.hpp"
+
+#include <sstream>
+
+namespace gtw::flow {
+
+double StageMetrics::throughput_per_s() const {
+  if (!started || items_out == 0) return 0.0;
+  const double span = (last_finish - first_start).sec();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(items_out) / span;
+}
+
+double StageMetrics::occupancy() const {
+  if (!started) return 0.0;
+  const double span = (last_finish - first_start).sec();
+  if (span <= 0.0) return 0.0;
+  return busy.sec() / span;
+}
+
+StageMetrics& MetricsRegistry::add_stage(const std::string& name,
+                                         int concurrency) {
+  StageMetrics m;
+  m.name = name;
+  m.concurrency = concurrency;
+  stages_.push_back(std::move(m));
+  return stages_.back();
+}
+
+std::string MetricsRegistry::report() const {
+  std::ostringstream os;
+  os << "stage             in    out   drop  q_peak    busy_s    occ   thr/s\n";
+  char line[160];
+  for (const StageMetrics& m : stages_) {
+    std::snprintf(line, sizeof line,
+                  "%-14s %6llu %6llu %6llu %7zu %9.3f %6.2f %7.3f\n",
+                  m.name.c_str(),
+                  static_cast<unsigned long long>(m.items_in),
+                  static_cast<unsigned long long>(m.items_out),
+                  static_cast<unsigned long long>(m.dropped), m.queue_peak,
+                  m.busy.sec(), m.occupancy(), m.throughput_per_s());
+    os << line;
+  }
+  os << "graph: pushed " << pushed << ", admitted " << admitted
+     << ", superseded " << admission_dropped << ", completed " << completed
+     << "\n";
+  return os.str();
+}
+
+}  // namespace gtw::flow

@@ -1,0 +1,36 @@
+#include "flow/tracing.hpp"
+
+namespace gtw::flow {
+
+std::uint32_t Tracer::state(const std::string& name) {
+  if (rec_ == nullptr) return 0;
+  if (cached_for_ != rec_) {
+    states_.clear();
+    cached_for_ = rec_;
+  }
+  auto it = states_.find(name);
+  if (it != states_.end()) return it->second;
+  const std::uint32_t id = rec_->define_state(name);
+  states_.emplace(name, id);
+  return id;
+}
+
+void Tracer::enter(std::uint32_t rank, std::uint32_t state, des::SimTime t) {
+  if (rec_ != nullptr && state != 0) rec_->enter(rank, state, t);
+}
+
+void Tracer::leave(std::uint32_t rank, std::uint32_t state, des::SimTime t) {
+  if (rec_ != nullptr && state != 0) rec_->leave(rank, state, t);
+}
+
+void Tracer::send(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
+                  std::uint64_t bytes, des::SimTime t) {
+  if (rec_ != nullptr) rec_->send(rank, peer, tag, bytes, t);
+}
+
+void Tracer::recv(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
+                  std::uint64_t bytes, des::SimTime t) {
+  if (rec_ != nullptr) rec_->recv(rank, peer, tag, bytes, t);
+}
+
+}  // namespace gtw::flow

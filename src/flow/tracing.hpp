@@ -1,0 +1,44 @@
+// Shared tracing hook layer for the dataflow engine and the communication
+// libraries.  A Tracer wraps an optional trace::TraceRecorder so any
+// component (StageGraph stages, meta::Communicator, applications) emits
+// VAMPIR-style enter/leave/send/recv events through one interface; while no
+// recorder is attached every call is a no-op, so instrumentation can stay
+// unconditional at the call sites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "des/time.hpp"
+#include "trace/trace.hpp"
+
+namespace gtw::flow {
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  void attach(trace::TraceRecorder* rec) { rec_ = rec; }
+  bool attached() const { return rec_ != nullptr; }
+  trace::TraceRecorder* recorder() const { return rec_; }
+
+  // Define-or-reuse a state id by name.  Returns 0 (the reserved "idle"
+  // state) while detached; ids are per-recorder, so the cache resets when a
+  // different recorder is attached.
+  std::uint32_t state(const std::string& name);
+
+  void enter(std::uint32_t rank, std::uint32_t state, des::SimTime t);
+  void leave(std::uint32_t rank, std::uint32_t state, des::SimTime t);
+  void send(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
+            std::uint64_t bytes, des::SimTime t);
+  void recv(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
+            std::uint64_t bytes, des::SimTime t);
+
+ private:
+  trace::TraceRecorder* rec_ = nullptr;
+  trace::TraceRecorder* cached_for_ = nullptr;
+  std::map<std::string, std::uint32_t> states_;
+};
+
+}  // namespace gtw::flow

@@ -36,11 +36,10 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
   const ProcLoc& dst = location(dst_rank);
   ++messages_sent_;
   bytes_sent_ += bytes;
-  if (trace_ != nullptr)
-    trace_->send(static_cast<std::uint32_t>(src_rank),
-                 static_cast<std::uint32_t>(dst_rank),
-                 static_cast<std::uint32_t>(tag), bytes,
-                 mc_->scheduler().now());
+  tracer_.send(static_cast<std::uint32_t>(src_rank),
+               static_cast<std::uint32_t>(dst_rank),
+               static_cast<std::uint32_t>(tag), bytes,
+               mc_->scheduler().now());
 
   Message msg{src_rank, tag, bytes, std::move(data)};
   if (src.machine == dst.machine) {
@@ -81,11 +80,10 @@ void Communicator::recv(int rank, int source, int tag, RecvCallback cb) {
 }
 
 void Communicator::deliver(int dst_rank, Message msg) {
-  if (trace_ != nullptr)
-    trace_->recv(static_cast<std::uint32_t>(dst_rank),
-                 static_cast<std::uint32_t>(msg.source),
-                 static_cast<std::uint32_t>(msg.tag), msg.bytes,
-                 mc_->scheduler().now());
+  tracer_.recv(static_cast<std::uint32_t>(dst_rank),
+               static_cast<std::uint32_t>(msg.source),
+               static_cast<std::uint32_t>(msg.tag), msg.bytes,
+               mc_->scheduler().now());
   RankState& st = states_.at(static_cast<std::size_t>(dst_rank));
   for (auto it = st.recvs.begin(); it != st.recvs.end(); ++it) {
     if (matches(*it, msg)) {
@@ -121,7 +119,7 @@ std::vector<int> Communicator::machines_involved() const {
   return out;
 }
 
-void Communicator::finish_collective(std::uint64_t key,
+void Communicator::finish_collective(std::uint64_t key, const char* name,
                                      std::uint64_t wan_bytes,
                                      std::function<void(int rank)> per_rank) {
   const des::SimTime intra = intra_tree_cost(wan_bytes);
@@ -129,9 +127,14 @@ void Communicator::finish_collective(std::uint64_t key,
   const int root_machine = location(collectives_[key].root).machine;
   auto& sched = mc_->scheduler();
 
-  auto final_stage = [this, key, intra, per_rank, &sched]() {
-    sched.schedule_after(intra, [this, key, per_rank]() {
-      for (int r = 0; r < size(); ++r) per_rank(r);
+  auto final_stage = [this, key, name, intra, per_rank, &sched]() {
+    sched.schedule_after(intra, [this, key, name, per_rank]() {
+      const std::uint32_t state = tracer_.state(name);
+      for (int r = 0; r < size(); ++r) {
+        tracer_.leave(static_cast<std::uint32_t>(r), state,
+                      mc_->scheduler().now());
+        per_rank(r);
+      }
       collectives_.erase(key);
     });
   };
@@ -171,13 +174,15 @@ void Communicator::finish_collective(std::uint64_t key,
 }
 
 void Communicator::barrier(int rank, Callback cb) {
+  tracer_.enter(static_cast<std::uint32_t>(rank), tracer_.state("barrier"),
+                mc_->scheduler().now());
   const std::uint64_t key = (1ULL << 62) | barrier_seq_;
   Collective& c = collectives_[key];
   if (c.continuations.empty()) c.continuations.resize(ranks_.size());
   c.continuations.at(static_cast<std::size_t>(rank)) = std::move(cb);
   if (++c.arrived < size()) return;
   ++barrier_seq_;
-  finish_collective(key, 8, [this, key](int r) {
+  finish_collective(key, "barrier", 8, [this, key](int r) {
     auto& cont = collectives_[key].continuations.at(static_cast<std::size_t>(r));
     if (cont) cont();
   });
@@ -186,6 +191,8 @@ void Communicator::barrier(int rank, Callback cb) {
 void Communicator::broadcast(int rank, int root, std::uint64_t bytes,
                              std::function<void(const std::any&)> cb,
                              std::any root_data) {
+  tracer_.enter(static_cast<std::uint32_t>(rank), tracer_.state("broadcast"),
+                mc_->scheduler().now());
   const std::uint64_t key = (2ULL << 62) | bcast_seq_;
   Collective& c = collectives_[key];
   if (c.continuations.empty()) c.continuations.resize(ranks_.size());
@@ -196,7 +203,7 @@ void Communicator::broadcast(int rank, int root, std::uint64_t bytes,
       [this, key, cb = std::move(cb)]() { cb(collectives_[key].bcast_data); };
   if (++c.arrived < size()) return;
   ++bcast_seq_;
-  finish_collective(key, bytes, [this, key](int r) {
+  finish_collective(key, "broadcast", bytes, [this, key](int r) {
     auto& cont = collectives_[key].continuations.at(static_cast<std::size_t>(r));
     if (cont) cont();
   });
@@ -205,6 +212,8 @@ void Communicator::broadcast(int rank, int root, std::uint64_t bytes,
 void Communicator::allreduce(int rank, const std::vector<double>& contribution,
                              ReduceOp op,
                              std::function<void(std::vector<double>)> cb) {
+  tracer_.enter(static_cast<std::uint32_t>(rank), tracer_.state("allreduce"),
+                mc_->scheduler().now());
   const std::uint64_t key = (3ULL << 62) | reduce_seq_;
   Collective& c = collectives_[key];
   if (c.continuations.empty()) {
@@ -236,7 +245,7 @@ void Communicator::allreduce(int rank, const std::vector<double>& contribution,
   if (++c.arrived < size()) return;
   ++reduce_seq_;
   const std::uint64_t payload = contribution.size() * sizeof(double);
-  finish_collective(key, std::max<std::uint64_t>(payload, 8),
+  finish_collective(key, "allreduce", std::max<std::uint64_t>(payload, 8),
                     [this, key](int r) {
     auto& cont = collectives_[key].continuations.at(static_cast<std::size_t>(r));
     if (cont) cont();
@@ -246,6 +255,8 @@ void Communicator::allreduce(int rank, const std::vector<double>& contribution,
 void Communicator::gather(int rank, std::uint64_t bytes, std::any data,
                           int root,
                           std::function<void(std::vector<std::any>)> root_cb) {
+  tracer_.enter(static_cast<std::uint32_t>(rank), tracer_.state("gather"),
+                mc_->scheduler().now());
   const std::uint64_t key = (4ULL << 62) | gather_seq_;
   Collective& c = collectives_[key];
   if (c.continuations.empty()) {
@@ -262,7 +273,8 @@ void Communicator::gather(int rank, std::uint64_t bytes, std::any data,
   }
   if (++c.arrived < size()) return;
   ++gather_seq_;
-  finish_collective(key, bytes * static_cast<std::uint64_t>(size()),
+  finish_collective(key, "gather",
+                    bytes * static_cast<std::uint64_t>(size()),
                     [this, key](int r) {
     auto& cont = collectives_[key].continuations.at(static_cast<std::size_t>(r));
     if (cont) cont();
@@ -272,6 +284,8 @@ void Communicator::gather(int rank, std::uint64_t bytes, std::any data,
 void Communicator::scatter(int rank, int root, std::uint64_t bytes_per_rank,
                            std::function<void(const std::any&)> cb,
                            std::vector<std::any> root_data) {
+  tracer_.enter(static_cast<std::uint32_t>(rank), tracer_.state("scatter"),
+                mc_->scheduler().now());
   const std::uint64_t key = (5ULL << 60) | scatter_seq_;
   Collective& c = collectives_[key];
   if (c.continuations.empty()) {
@@ -289,7 +303,8 @@ void Communicator::scatter(int rank, int root, std::uint64_t bytes_per_rank,
       };
   if (++c.arrived < size()) return;
   ++scatter_seq_;
-  finish_collective(key, bytes_per_rank * static_cast<std::uint64_t>(size()),
+  finish_collective(key, "scatter",
+                    bytes_per_rank * static_cast<std::uint64_t>(size()),
                     [this, key](int r) {
     auto& cont = collectives_[key].continuations.at(static_cast<std::size_t>(r));
     if (cont) cont();
@@ -299,6 +314,8 @@ void Communicator::scatter(int rank, int root, std::uint64_t bytes_per_rank,
 void Communicator::alltoall(int rank, std::uint64_t bytes_per_pair,
                             std::vector<std::any> contributions,
                             std::function<void(std::vector<std::any>)> cb) {
+  tracer_.enter(static_cast<std::uint32_t>(rank), tracer_.state("alltoall"),
+                mc_->scheduler().now());
   const std::uint64_t key = (6ULL << 60) | alltoall_seq_;
   Collective& c = collectives_[key];
   if (c.continuations.empty()) {
@@ -322,7 +339,7 @@ void Communicator::alltoall(int rank, std::uint64_t bytes_per_pair,
   if (++c.arrived < size()) return;
   ++alltoall_seq_;
   finish_collective(
-      key,
+      key, "alltoall",
       bytes_per_pair * static_cast<std::uint64_t>(size()) *
           static_cast<std::uint64_t>(size()),
       [this, key](int r) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/tracing.hpp"
 #include "meta/metacomputer.hpp"
 #include "trace/trace.hpp"
 
@@ -117,9 +118,10 @@ class Communicator {
   // VAMPIR integration (the paper's Metacomputing Tools project: "the
   // parallel tracing tool VAMPIR is extended for the use with this
   // library").  When attached, every point-to-point send and delivery is
-  // recorded with its simulated timestamp.  The recorder must outlive the
+  // recorded with its simulated timestamp, and each collective shows up as
+  // an enter/leave pair per rank.  The recorder must outlive the
   // communicator and have at least size() ranks.
-  void attach_trace(trace::TraceRecorder* rec) { trace_ = rec; }
+  void attach_trace(trace::TraceRecorder* rec) { tracer_.attach(rec); }
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -147,8 +149,10 @@ class Communicator {
 
   void deliver(int dst_rank, Message msg);
   bool matches(const PostedRecv& r, const Message& m) const;
-  // Staged completion of a collective that moves `bytes` per WAN hop.
-  void finish_collective(std::uint64_t key, std::uint64_t wan_bytes,
+  // Staged completion of a collective that moves `bytes` per WAN hop;
+  // `name` is the trace state every rank leaves on completion.
+  void finish_collective(std::uint64_t key, const char* name,
+                         std::uint64_t wan_bytes,
                          std::function<void(int rank)> per_rank);
   des::SimTime intra_tree_cost(std::uint64_t bytes) const;
   // Machines participating, and the designated leader rank per machine.
@@ -162,7 +166,7 @@ class Communicator {
                 gather_seq_ = 0, scatter_seq_ = 0, alltoall_seq_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
-  trace::TraceRecorder* trace_ = nullptr;
+  flow::Tracer tracer_;  // shared hook layer with the dataflow engine
 };
 
 }  // namespace gtw::meta

@@ -77,32 +77,69 @@ void TraceRecorder::write(std::ostream& os) const {
   }
 }
 
+namespace {
+// Sanity ceilings for reader validation: far above anything the simulator
+// produces, low enough that a corrupt count cannot drive allocation.
+constexpr std::uint32_t kMaxRanks = 1u << 20;
+constexpr std::uint32_t kMaxStates = 1u << 20;
+constexpr std::uint32_t kMaxStateNameLen = 1u << 16;
+constexpr std::uint64_t kReserveCap = 1u << 20;
+}  // namespace
+
 TraceRecorder TraceRecorder::read(std::istream& is) {
   char magic[4];
   is.read(magic, 4);
   if (!is || std::memcmp(magic, kMagic, 4) != 0)
-    throw std::runtime_error("trace: bad magic");
+    throw std::runtime_error("trace: bad magic (not a GTWT stream)");
   const auto version = get<std::uint32_t>(is);
-  if (version != kVersion) throw std::runtime_error("trace: bad version");
+  if (version != kVersion)
+    throw std::runtime_error("trace: unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ")");
   const auto ranks = get<std::uint32_t>(is);
+  if (ranks == 0 || ranks > kMaxRanks)
+    throw std::runtime_error("trace: implausible rank count " +
+                             std::to_string(ranks));
   TraceRecorder rec(static_cast<int>(ranks));
   const auto n_states = get<std::uint32_t>(is);
+  if (n_states == 0 || n_states > kMaxStates)
+    throw std::runtime_error("trace: implausible state count " +
+                             std::to_string(n_states));
   rec.states_.clear();
   for (std::uint32_t i = 0; i < n_states; ++i) {
     const auto len = get<std::uint32_t>(is);
+    if (len > kMaxStateNameLen)
+      throw std::runtime_error("trace: implausible state-name length " +
+                               std::to_string(len));
     std::string s(len, '\0');
     is.read(s.data(), static_cast<std::streamsize>(len));
     if (!is) throw std::runtime_error("trace: truncated state name");
     rec.states_.push_back(std::move(s));
   }
   const auto n_events = get<std::uint64_t>(is);
-  rec.events_.reserve(n_events);
+  // A lying header must not drive allocation: reserve a bounded amount and
+  // let the per-event reads hit "truncated stream" if the count was fake.
+  rec.events_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(n_events, kReserveCap)));
   for (std::uint64_t i = 0; i < n_events; ++i) {
     TraceEvent e;
     e.time_ps = get<std::int64_t>(is);
     e.rank = get<std::uint32_t>(is);
-    e.kind = static_cast<EventKind>(get<std::uint8_t>(is));
+    if (e.rank >= ranks)
+      throw std::runtime_error("trace: event rank " + std::to_string(e.rank) +
+                               " out of range (ranks=" +
+                               std::to_string(ranks) + ")");
+    const auto kind = get<std::uint8_t>(is);
+    if (kind > static_cast<std::uint8_t>(EventKind::kRecv))
+      throw std::runtime_error("trace: unknown event kind " +
+                               std::to_string(kind));
+    e.kind = static_cast<EventKind>(kind);
     e.id = get<std::uint32_t>(is);
+    if ((e.kind == EventKind::kEnter || e.kind == EventKind::kLeave) &&
+        e.id >= n_states)
+      throw std::runtime_error("trace: state id " + std::to_string(e.id) +
+                               " out of range (states=" +
+                               std::to_string(n_states) + ")");
     e.tag = get<std::uint32_t>(is);
     e.bytes = get<std::uint64_t>(is);
     rec.events_.push_back(e);

@@ -1,5 +1,7 @@
 #include "viz/workbench.hpp"
 
+#include "flow/stage.hpp"
+
 namespace gtw::viz {
 
 double classical_ip_fps(const WorkbenchFormat& fmt, double link_rate_bps,
@@ -26,28 +28,29 @@ FrameStreamer::FrameStreamer(des::Scheduler& sched, net::Host& src,
                              RenderModel render, int frame_count,
                              net::TcpConfig tcp)
     : sched_(sched), fmt_(fmt), render_(render), frame_count_(frame_count),
-      conn_(src, dst, 7100, 7101, tcp) {}
-
-void FrameStreamer::start() { render_next(); }
-
-void FrameStreamer::render_next() {
-  if (rendered_ >= frame_count_) return;
-  ++rendered_;
-  sched_.schedule_after(render_.frame_time(fmt_), [this]() {
-    conn_.send(0, fmt_.frame_bytes(), {},
-               [this](const std::any&, des::SimTime when) {
-                 ++delivered_;
-                 if (first_) {
-                   first_ = false;
-                   first_delivery_ = when;
-                 } else {
-                   intervals_.add((when - last_delivery_).ms());
-                 }
-                 last_delivery_ = when;
-               });
-    // Render the next frame while this one is in flight (double buffer).
-    render_next();
+      conn_(src, dst, 7100, 7101, tcp), graph_(sched) {
+  // The single render slot re-fills while the previous frame is still in
+  // flight on the uplink (double buffer).
+  graph_.add_stage(
+      flow::delay_stage("render", render_.frame_time(fmt_), 1));
+  graph_.add_stage(flow::tcp_transfer_stage(
+      "uplink", conn_, 0,
+      [this](const flow::Item&) { return fmt_.frame_bytes(); }, 0));
+  graph_.on_complete([this](const flow::Item&) {
+    const des::SimTime when = sched_.now();
+    ++delivered_;
+    if (first_) {
+      first_ = false;
+      first_delivery_ = when;
+    } else {
+      intervals_.add((when - last_delivery_).ms());
+    }
+    last_delivery_ = when;
   });
+}
+
+void FrameStreamer::start() {
+  for (int i = 0; i < frame_count_; ++i) graph_.push(i);
 }
 
 double FrameStreamer::achieved_fps() const {

@@ -14,6 +14,7 @@
 
 #include "des/scheduler.hpp"
 #include "des/stats.hpp"
+#include "flow/graph.hpp"
 #include "net/host.hpp"
 #include "net/tcp.hpp"
 #include "net/units.hpp"
@@ -53,8 +54,9 @@ struct RenderModel {
 };
 
 // Streams rendered frames from `src` (the Onyx 2) to `dst` (the workbench
-// frame buffer) over TCP, render and transfer overlapped; reports the
-// sustained frame rate.
+// frame buffer) over TCP, render and transfer overlapped (a two-stage flow
+// graph: single render slot double-buffered against the uplink); reports
+// the sustained frame rate.
 class FrameStreamer {
  public:
   FrameStreamer(des::Scheduler& sched, net::Host& src, net::Host& dst,
@@ -67,15 +69,17 @@ class FrameStreamer {
   double achieved_fps() const;
   const des::RunningStats& frame_interval_ms() const { return intervals_; }
 
- private:
-  void render_next();
+  // Stage events as trace ranks 0 (render) / 1 (uplink).
+  void attach_trace(trace::TraceRecorder* rec) { graph_.attach_trace(rec); }
+  const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
 
+ private:
   des::Scheduler& sched_;
   WorkbenchFormat fmt_;
   RenderModel render_;
   int frame_count_;
   net::TcpConnection conn_;
-  int rendered_ = 0;
+  flow::StageGraph graph_;
   int delivered_ = 0;
   bool first_ = true;
   des::SimTime first_delivery_;

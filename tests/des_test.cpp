@@ -93,6 +93,65 @@ TEST(SchedulerTest, CancelAfterFireIsNoop) {
   h.cancel();  // must not crash
 }
 
+TEST(SchedulerTest, CancellationChurnIsSweptFromTheHeap) {
+  // A retransmit-timer workload: schedule far-future events and cancel
+  // almost all of them.  Cancelled entries are removed lazily, but once
+  // they outnumber the live ones the heap is swept, so churn cannot
+  // accumulate garbage proportional to everything ever scheduled.
+  Scheduler sched;
+  std::vector<EventHandle> handles;
+  const int kRounds = 50, kPerRound = 40;
+  int fired = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int i = 0; i < kPerRound; ++i) {
+      handles.push_back(sched.schedule_at(
+          SimTime::seconds(1000.0 + r * kPerRound + i), [&] { ++fired; }));
+    }
+    // Cancel all but the last timer of the round (it "expires for real").
+    for (int i = 0; i < kPerRound - 1; ++i)
+      handles[static_cast<std::size_t>(r * kPerRound + i)].cancel();
+    // Sweep invariant: cancelled entries never outnumber the live ones.
+    EXPECT_LE(sched.cancelled_entries(),
+              sched.queued_entries() - sched.cancelled_entries())
+        << "round " << r;
+  }
+  // 2000 events were scheduled but only 50 are live; the heap must be
+  // within the sweep bound, not holding ~2000 tombstones.
+  EXPECT_LE(sched.queued_entries(), 2u * kRounds);
+  sched.run();
+  EXPECT_EQ(fired, kRounds);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.queued_entries(), 0u);
+  EXPECT_EQ(sched.cancelled_entries(), 0u);
+}
+
+TEST(SchedulerTest, CancelledOrderingUnaffectedForSurvivors) {
+  // Interleave cancels with live events at shared timestamps: survivors must
+  // still fire in (time, insertion) order after sweeps rebuild the heap.
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 30; ++i) {
+    const SimTime t = SimTime::milliseconds(100 + (i % 5));
+    if (i % 3 == 0) {
+      const int tag = i;
+      sched.schedule_at(t, [&order, tag] { order.push_back(tag); });
+    } else {
+      doomed.push_back(sched.schedule_at(t, [&order] {
+        order.push_back(-1);
+      }));
+    }
+  }
+  for (auto& h : doomed) h.cancel();
+  sched.run();
+  // Survivors are i = 0, 3, 6, ..., 27 sorted by (time = 100 + i%5, seq).
+  std::vector<int> expect;
+  for (int ms = 0; ms < 5; ++ms)
+    for (int i = 0; i < 30; i += 3)
+      if (i % 5 == ms) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
 TEST(SchedulerTest, HorizonStopsRun) {
   Scheduler sched;
   int fired = 0;

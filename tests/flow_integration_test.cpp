@@ -1,0 +1,219 @@
+// Integration coverage for the dataflow engine as deployed: the fMRI
+// pipeline (fire), the workbench frame streamer (viz) and the section-5
+// apps (video, traffic) all run on flow::StageGraph, so each must expose
+// coherent per-stage metrics and a well-formed multi-rank trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/traffic.hpp"
+#include "apps/video.hpp"
+#include "fire/pipeline.hpp"
+#include "testbed/extensions.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/trace.hpp"
+#include "viz/workbench.hpp"
+
+namespace gtw {
+namespace {
+
+int count_kind(const trace::TraceRecorder& rec, trace::EventKind kind,
+               std::uint32_t rank) {
+  int n = 0;
+  for (const trace::TraceEvent& e : rec.events())
+    if (e.kind == kind && e.rank == rank) ++n;
+  return n;
+}
+
+bool has_state(const trace::TraceRecorder& rec, const std::string& name) {
+  for (std::uint32_t s = 0; s < rec.state_count(); ++s)
+    if (rec.state_name(s) == name) return true;
+  return false;
+}
+
+TEST(FlowIntegrationTest, FirePipelineStagesTraceAndMeter) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  fire::PipelineConfig cfg;
+  cfg.n_scans = 6;
+  fire::FmriPipeline pipe(
+      tb.scheduler(),
+      {&tb.scanner_frontend(), &tb.gw_o200(), &tb.onyx2_juelich()}, cfg);
+  trace::TraceRecorder rec(4);  // transfer / compute / return / display
+  pipe.attach_trace(&rec);
+  pipe.start();
+  tb.scheduler().run();
+
+  const fire::PipelineResult res = pipe.result();
+  EXPECT_EQ(res.records.size(), 6u);
+  // Every scan passes every stage once (TR = 3 s keeps up, nothing skipped).
+  const flow::MetricsRegistry& m = pipe.metrics();
+  ASSERT_EQ(m.stages().size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(m.stage(s).items_in, 6u) << m.stage(s).name;
+    EXPECT_EQ(m.stage(s).items_out, 6u) << m.stage(s).name;
+    EXPECT_EQ(m.stage(s).dropped, 0u) << m.stage(s).name;
+  }
+  EXPECT_EQ(m.admitted, 6u);
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_EQ(m.admission_dropped, 0u);
+  // The compute stage's integrated busy time is n_scans * compute_time.
+  EXPECT_EQ(m.stage(1).busy, pipe.compute_time(cfg.t3e_pes) * 6);
+
+  // Trace: one enter and one leave per scan on each of the four ranks, and
+  // the transfer/return stages add send/recv edges.
+  EXPECT_TRUE(has_state(rec, "transfer"));
+  EXPECT_TRUE(has_state(rec, "compute"));
+  EXPECT_TRUE(has_state(rec, "return"));
+  EXPECT_TRUE(has_state(rec, "display"));
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(count_kind(rec, trace::EventKind::kEnter, r), 6) << "rank " << r;
+    EXPECT_EQ(count_kind(rec, trace::EventKind::kLeave, r), 6) << "rank " << r;
+  }
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kSend, 0), 6);
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kRecv, 1), 6);
+}
+
+TEST(FlowIntegrationTest, FireSequentialSkipsShowUpAsAdmissionDrops) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  fire::PipelineConfig cfg;
+  cfg.tr_s = 1.5;  // faster than the 2.7 s loop: the client must skip scans
+  cfg.n_scans = 12;
+  fire::FmriPipeline pipe(
+      tb.scheduler(),
+      {&tb.scanner_frontend(), &tb.gw_o200(), &tb.onyx2_juelich()}, cfg);
+  pipe.start();
+  tb.scheduler().run();
+  const fire::PipelineResult res = pipe.result();
+  EXPECT_GT(res.scans_skipped, 0);
+  EXPECT_EQ(pipe.metrics().admission_dropped,
+            static_cast<std::uint64_t>(res.scans_skipped));
+  EXPECT_EQ(pipe.metrics().completed + pipe.metrics().admission_dropped,
+            static_cast<std::uint64_t>(cfg.n_scans));
+}
+
+TEST(FlowIntegrationTest, FireTraceFeedsMultiRankGanttAndProfile) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  fire::PipelineConfig cfg;
+  cfg.n_scans = 6;
+  fire::FmriPipeline pipe(
+      tb.scheduler(),
+      {&tb.scanner_frontend(), &tb.gw_o200(), &tb.onyx2_juelich()}, cfg);
+  trace::TraceRecorder rec(4);
+  pipe.attach_trace(&rec);
+  pipe.start();
+  tb.scheduler().run();
+
+  // Round-trip through the binary format, then render the multi-rank views.
+  std::stringstream buf;
+  rec.write(buf);
+  const trace::TraceRecorder loaded = trace::TraceRecorder::read(buf);
+  trace::TraceStats stats(loaded);
+  const std::string g = stats.gantt(60);
+  for (int r = 0; r < 4; ++r) {
+    char label[16];
+    std::snprintf(label, sizeof label, "rank %2d", r);
+    EXPECT_NE(g.find(label), std::string::npos) << g;
+  }
+  // Each rank paints its own stage letter: c(ompute) on rank 1, d(isplay)
+  // on rank 3.
+  EXPECT_NE(g.find('c'), std::string::npos);
+  EXPECT_NE(g.find('d'), std::string::npos);
+
+  const std::string prof = stats.profile();
+  EXPECT_NE(prof.find("compute="), std::string::npos);
+  EXPECT_NE(prof.find("display="), std::string::npos);
+  // Profile time on the compute rank matches the metrics' busy integral.
+  std::uint32_t compute_state = 0;
+  for (std::uint32_t s = 0; s < loaded.state_count(); ++s)
+    if (loaded.state_name(s) == "compute") compute_state = s;
+  ASSERT_NE(compute_state, 0u);
+  EXPECT_EQ(stats.state_time(1, compute_state),
+            pipe.metrics().stage(1).busy);
+}
+
+TEST(FlowIntegrationTest, FrameStreamerMetersRenderAndUplink) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  net::TcpConfig tcp;
+  tcp.mss = tb.options().atm_mtu - 40;
+  tcp.recv_buffer = 1u << 20;
+  viz::FrameStreamer streamer(tb.scheduler(), tb.onyx2_gmd(),
+                              tb.workbench_juelich(), viz::WorkbenchFormat{},
+                              viz::RenderModel{}, 10, tcp);
+  trace::TraceRecorder rec(2);
+  streamer.attach_trace(&rec);
+  streamer.start();
+  tb.scheduler().run();
+
+  EXPECT_EQ(streamer.frames_delivered(), 10);
+  const flow::MetricsRegistry& m = streamer.metrics();
+  ASSERT_EQ(m.stages().size(), 2u);
+  EXPECT_EQ(m.stage(0).name, "render");
+  EXPECT_EQ(m.stage(1).name, "uplink");
+  EXPECT_EQ(m.stage(0).items_out, 10u);
+  EXPECT_EQ(m.stage(1).items_out, 10u);
+  // Render is double-buffered against the transfer: the uplink dominates,
+  // so its occupancy is (near) 1 while render idles between frames.
+  EXPECT_GT(m.stage(1).occupancy(), 0.9);
+  EXPECT_LT(m.stage(0).occupancy(), m.stage(1).occupancy());
+
+  EXPECT_TRUE(has_state(rec, "render"));
+  EXPECT_TRUE(has_state(rec, "uplink"));
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kEnter, 0), 10);
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kEnter, 1), 10);
+  // One send per frame leaving the uplink, one recv on its delivery.
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kSend, 1), 10);
+}
+
+TEST(FlowIntegrationTest, VideoSessionCountsFramesThroughTheGraph) {
+  testbed::Testbed tb{testbed::TestbedOptions{testbed::WanEra::kOc48_1998}};
+  apps::D1VideoConfig cfg;
+  cfg.frames = 50;
+  apps::D1VideoSession session(tb.onyx2_gmd(), tb.onyx2_juelich(), cfg);
+  trace::TraceRecorder rec(1);
+  session.attach_trace(&rec);
+  session.start();
+  tb.scheduler().run();
+
+  const apps::D1VideoReport rep = session.report();
+  EXPECT_EQ(rep.frames_sent, 50u);
+  const flow::MetricsRegistry& m = session.metrics();
+  ASSERT_EQ(m.stages().size(), 1u);
+  EXPECT_EQ(m.stage(0).name, "uplink");
+  EXPECT_EQ(m.stage(0).items_out, 50u);
+  EXPECT_EQ(m.completed, 50u);
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kEnter, 0), 50);
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kSend, 0), 50);
+}
+
+TEST(FlowIntegrationTest, TrafficVizSimulateAndPublishStages) {
+  testbed::ExtendedTestbed tb;
+  apps::NaschConfig cfg;
+  cfg.cells = 200;
+  apps::DistributedTrafficViz run(tb.dlr_traffic(), tb.cologne_viz(), cfg,
+                                  /*steps=*/30);
+  trace::TraceRecorder rec(2);
+  run.attach_trace(&rec);
+  run.start();
+  tb.scheduler().run();
+
+  const apps::TrafficVizResult& res = run.result();
+  EXPECT_EQ(res.steps_simulated, 30);
+  const flow::MetricsRegistry& m = run.metrics();
+  ASSERT_EQ(m.stages().size(), 2u);
+  EXPECT_EQ(m.stage(0).name, "simulate");
+  EXPECT_EQ(m.stage(1).name, "publish");
+  EXPECT_EQ(m.stage(0).items_out, 30u);
+  EXPECT_EQ(m.stage(1).items_out, 30u);
+  EXPECT_EQ(m.completed, 30u);
+  EXPECT_TRUE(has_state(rec, "simulate"));
+  EXPECT_TRUE(has_state(rec, "publish"));
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kEnter, 0), 30);
+  EXPECT_EQ(count_kind(rec, trace::EventKind::kSend, 1), 30);
+  // The metrics report is printable and names both stages.
+  const std::string report = m.report();
+  EXPECT_NE(report.find("simulate"), std::string::npos);
+  EXPECT_NE(report.find("publish"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtw

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
+#include <stdexcept>
 
 #include "fire/volume.hpp"
 #include "net/atm.hpp"
@@ -149,6 +151,118 @@ TEST(TraceTest, ReadRejectsGarbage) {
   std::stringstream buf;
   buf << "not a trace file";
   EXPECT_THROW(trace::TraceRecorder::read(buf), std::runtime_error);
+}
+
+namespace {
+
+// A small valid serialized trace: 2 ranks, states {"idle", "work"}, one
+// enter/leave pair and one send.  Offsets into the byte string:
+//   0 magic, 4 version, 8 ranks, 12 n_states, 16 len("idle"), 20 "idle",
+//   24 len("work"), 28 "work", 32 n_events (u64), 40 first event
+//   (+0 time i64, +8 rank u32, +12 kind u8, +13 id u32, +17 tag u32,
+//    +21 bytes u64; 29 bytes per event).
+std::string good_trace_bytes() {
+  trace::TraceRecorder rec(2);
+  const auto w = rec.define_state("work");
+  rec.enter(0, w, des::SimTime::seconds(1.0));
+  rec.leave(0, w, des::SimTime::seconds(2.0));
+  rec.send(1, 0, 5, 4096, des::SimTime::seconds(1.5));
+  std::stringstream buf;
+  rec.write(buf);
+  return buf.str();
+}
+
+// Read a trace from raw bytes, expecting a runtime_error whose message
+// contains `needle` (the reader must say *what* was wrong).
+void expect_rejects(std::string bytes, const std::string& needle) {
+  std::stringstream buf(std::move(bytes));
+  try {
+    trace::TraceRecorder::read(buf);
+    FAIL() << "expected rejection mentioning \"" << needle << "\"";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+template <typename T>
+void patch(std::string& bytes, std::size_t offset, T value) {
+  ASSERT_LE(offset + sizeof value, bytes.size());
+  std::memcpy(bytes.data() + offset, &value, sizeof value);
+}
+
+}  // namespace
+
+TEST(TraceTest, GoodBytesRoundTrip) {
+  std::stringstream buf(good_trace_bytes());
+  const trace::TraceRecorder rec = trace::TraceRecorder::read(buf);
+  EXPECT_EQ(rec.ranks(), 2);
+  EXPECT_EQ(rec.state_count(), 2u);
+  EXPECT_EQ(rec.state_name(1), "work");
+  ASSERT_EQ(rec.events().size(), 3u);
+}
+
+TEST(TraceTest, ReadRejectsWrongVersion) {
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 4, 99);
+  expect_rejects(std::move(b), "version");
+}
+
+TEST(TraceTest, ReadRejectsZeroRanks) {
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 8, 0);
+  expect_rejects(std::move(b), "rank count");
+}
+
+TEST(TraceTest, ReadRejectsAbsurdRankCount) {
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 8, 0xffffffffu);
+  expect_rejects(std::move(b), "rank count");
+}
+
+TEST(TraceTest, ReadRejectsAbsurdStateCount) {
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 12, 0xffffffffu);
+  expect_rejects(std::move(b), "state count");
+}
+
+TEST(TraceTest, ReadRejectsAbsurdStateNameLength) {
+  // A lying name length must be rejected up front, not allocated.
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 16, 0x7fffffffu);
+  expect_rejects(std::move(b), "state-name length");
+}
+
+TEST(TraceTest, ReadRejectsLyingEventCountAsTruncation) {
+  std::string b = good_trace_bytes();
+  // Claim ~10^18 events while the payload holds 3: the reader must fail on
+  // the missing bytes instead of reserving for the fake count.
+  patch<std::uint64_t>(b, 32, 1ull << 60);
+  expect_rejects(std::move(b), "truncated");
+}
+
+TEST(TraceTest, ReadRejectsTruncatedEventPayload) {
+  std::string b = good_trace_bytes();
+  b.resize(b.size() - 10);  // chop into the last event
+  expect_rejects(std::move(b), "truncated");
+}
+
+TEST(TraceTest, ReadRejectsUnknownEventKind) {
+  std::string b = good_trace_bytes();
+  patch<std::uint8_t>(b, 40 + 12, 17);
+  expect_rejects(std::move(b), "kind");
+}
+
+TEST(TraceTest, ReadRejectsEventRankOutOfRange) {
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 40 + 8, 2);  // ranks == 2, so rank 2 is invalid
+  expect_rejects(std::move(b), "rank");
+}
+
+TEST(TraceTest, ReadRejectsEnterStateOutOfRange) {
+  std::string b = good_trace_bytes();
+  patch<std::uint32_t>(b, 40 + 13, 7);  // enter event, only 2 states exist
+  expect_rejects(std::move(b), "state id");
 }
 
 TEST(TraceTest, GanttRendersStates) {
