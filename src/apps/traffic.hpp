@@ -87,6 +87,8 @@ class DistributedTrafficViz {
   // Stage events as trace ranks 0 (simulate) / 1 (publish).
   void attach_trace(trace::TraceRecorder* rec) { graph_.attach_trace(rec); }
   const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
+  // For failure wiring (net::FaultPlan observers, degraded-mode tests).
+  flow::StageGraph& graph() { return graph_; }
 
  private:
   net::Host& sim_host_;

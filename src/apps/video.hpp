@@ -46,6 +46,8 @@ class D1VideoSession {
   // Uplink send events as trace rank 0.
   void attach_trace(trace::TraceRecorder* rec) { graph_.attach_trace(rec); }
   const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
+  // For failure wiring (net::FaultPlan observers, degraded-mode tests).
+  flow::StageGraph& graph() { return graph_; }
 
  private:
   D1VideoConfig cfg_;

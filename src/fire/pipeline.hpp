@@ -114,6 +114,11 @@ class FmriPipeline {
   // Per-stage throughput/occupancy/queue accounting from the flow engine.
   const flow::MetricsRegistry& metrics() const { return graph_.metrics(); }
 
+  // The underlying flow graph, so callers can wire failure handling — a
+  // net::FaultPlan observer toggling set_degraded during scripted WAN
+  // outages, custom drop accounting, etc.
+  flow::StageGraph& graph() { return graph_; }
+
  private:
   static flow::GraphConfig graph_config(const PipelineConfig& cfg);
   void build_graph();

@@ -48,6 +48,24 @@ void StageGraph::push(int index, std::any payload) {
   admit_pending();
 }
 
+void StageGraph::set_degraded(bool on) {
+  if (on == degraded_) return;
+  degraded_ = on;
+  const des::SimTime now = sched_.now();
+  if (on) {
+    ++metrics_.degraded_spans;
+    degraded_since_ = now;
+    awaiting_recovery_ = false;
+  } else {
+    metrics_.degraded_time += now - degraded_since_;
+    recovery_started_ = now;
+    awaiting_recovery_ = true;
+    // The backlog that piled up during the outage is re-examined under the
+    // normal policy immediately.
+    admit_pending();
+  }
+}
+
 bool StageGraph::accepts(int s) const {
   const Stage& st = stages_[static_cast<std::size_t>(s)];
   if (st.cfg.policy != QueuePolicy::kBlock || st.cfg.capacity == 0)
@@ -55,24 +73,32 @@ bool StageGraph::accepts(int s) const {
   return st.queue.size() < st.cfg.capacity;
 }
 
+void StageGraph::supersede_waiting() {
+  // A newer item supersedes everything still waiting (the RT-client asks
+  // for "the next image" and gets the newest one).
+  while (admission_.size() > 1) {
+    const std::uint64_t stale = admission_.front();
+    admission_.pop_front();
+    ++metrics_.admission_dropped;
+    if (degraded_) ++metrics_.degraded_dropped;
+    auto it = live_.find(stale);
+    if (drop_) drop_(it->second.item, -1);
+    live_.erase(it);
+  }
+}
+
 void StageGraph::admit_pending() {
   if (admitting_ || stages_.empty()) return;
   admitting_ = true;
+  // Degraded mode forces newest-wins semantics whatever the configured
+  // policy, and eagerly — even while admission itself is blocked, work
+  // must not pile up behind a dead network.
+  if (degraded_) supersede_waiting();
   while (!admission_.empty()) {
     if (cfg_.max_in_flight > 0 && in_flight_ >= cfg_.max_in_flight) break;
     if (!accepts(0)) break;
-    if (cfg_.admission == QueuePolicy::kDropStale) {
-      // A newer item supersedes everything still waiting (the RT-client
-      // asks for "the next image" and gets the newest one).
-      while (admission_.size() > 1) {
-        const std::uint64_t stale = admission_.front();
-        admission_.pop_front();
-        ++metrics_.admission_dropped;
-        auto it = live_.find(stale);
-        if (drop_) drop_(it->second.item, -1);
-        live_.erase(it);
-      }
-    }
+    if (cfg_.admission == QueuePolicy::kDropStale || degraded_)
+      supersede_waiting();
     const std::uint64_t id = admission_.front();
     admission_.pop_front();
     ++in_flight_;
@@ -197,6 +223,13 @@ void StageGraph::drain_blocked(int s) {
 void StageGraph::leave_graph(std::uint64_t id) {
   auto it = live_.find(id);
   ++metrics_.completed;
+  if (awaiting_recovery_) {
+    // First completion after the outage cleared: the recovery time the
+    // paper's operators would have watched for on the RT-client.
+    awaiting_recovery_ = false;
+    ++metrics_.recoveries;
+    metrics_.last_recovery_time = sched_.now() - recovery_started_;
+  }
   if (complete_) complete_(it->second.item);
   live_.erase(it);
   --in_flight_;

@@ -105,6 +105,15 @@ class StageGraph {
   // kDropStale) later supersede it.
   void push(int index, std::any payload = {});
 
+  // Graceful degradation for outages (wired to a net::FaultPlan observer):
+  // while degraded, admission behaves as kDropStale regardless of the
+  // configured policy — work piling up behind a dead network is superseded
+  // by fresher items instead of queueing, the paper's "display the current
+  // brain state" semantics under failure.  Clearing it starts the
+  // recovery-time clock, stopped by the next completion.
+  void set_degraded(bool on);
+  bool degraded() const { return degraded_; }
+
   des::Scheduler& scheduler() { return sched_; }
   Tracer& tracer() { return tracer_; }
   MetricsRegistry& metrics() { return metrics_; }
@@ -133,6 +142,7 @@ class StageGraph {
   };
 
   void admit_pending();
+  void supersede_waiting();   // newest-wins trim of the admission queue
   bool accepts(int s) const;  // false when stage s's kBlock queue is full
   void enqueue(int s, std::uint64_t id);
   void pump(int s);
@@ -153,6 +163,10 @@ class StageGraph {
   std::uint64_t next_id_ = 1;
   int in_flight_ = 0;
   bool admitting_ = false;
+  bool degraded_ = false;
+  bool awaiting_recovery_ = false;
+  des::SimTime degraded_since_;
+  des::SimTime recovery_started_;
   MetricsRegistry metrics_;
   Tracer tracer_;
   std::function<void(const Item&)> complete_;

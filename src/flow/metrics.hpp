@@ -51,6 +51,14 @@ class MetricsRegistry {
   std::uint64_t completed = 0;          // items that left the last stage
   std::size_t admission_peak = 0;
 
+  // Graceful-degradation accounting (StageGraph::set_degraded, usually
+  // driven by a net::FaultPlan observer during scripted outages).
+  std::uint64_t degraded_spans = 0;     // times degradation was entered
+  std::uint64_t degraded_dropped = 0;   // items superseded while degraded
+  std::uint64_t recoveries = 0;         // completions observed post-outage
+  des::SimTime degraded_time;           // accumulated degraded span
+  des::SimTime last_recovery_time;      // outage end -> next completion
+
  private:
   std::vector<StageMetrics> stages_;
 };

@@ -48,6 +48,16 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
         cost, [this, dst_rank, msg = std::move(msg)]() mutable {
           deliver(dst_rank, std::move(msg));
         });
+  } else if (retry_enabled_) {
+    auto st = std::make_shared<WanSendState>();
+    st->src_rank = src_rank;
+    st->dst_rank = dst_rank;
+    st->src_machine = src.machine;
+    st->dst_machine = dst.machine;
+    st->bytes = bytes;
+    st->msg = std::move(msg);
+    st->next_timeout = retry_.timeout;
+    wan_attempt(std::move(st));
   } else {
     mc_->wan_send(src.machine, dst.machine, bytes,
                   [this, dst_rank, msg = std::move(msg)]() mutable {
@@ -55,6 +65,34 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
                   });
   }
   if (on_sent) on_sent();
+}
+
+void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
+  ++st->attempts;
+  mc_->wan_send(st->src_machine, st->dst_machine, st->bytes, [this, st]() {
+    if (st->delivered) {
+      // An earlier attempt's bytes finally made it through after a retry
+      // was already issued (the simulated TCP is reliable, just late).
+      ++reliability_.duplicates_suppressed;
+      return;
+    }
+    st->delivered = true;
+    st->watchdog.cancel();
+    deliver(st->dst_rank, std::move(st->msg));
+  });
+  st->watchdog = mc_->scheduler().schedule_after(st->next_timeout, [this, st]() {
+    if (st->delivered) return;
+    if (st->attempts > retry_.max_retries) {
+      ++reliability_.unreachable_reports;
+      if (unreachable_)
+        unreachable_(st->src_rank, st->dst_rank, st->attempts);
+      return;
+    }
+    ++reliability_.wan_retries;
+    st->next_timeout =
+        des::SimTime::seconds(st->next_timeout.sec() * retry_.backoff);
+    wan_attempt(st);
+  });
 }
 
 void Communicator::send_typed(int src_rank, int dst_rank, int tag,

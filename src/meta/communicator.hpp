@@ -59,6 +59,19 @@ constexpr int kAnyTag = -1;
 
 enum class ReduceOp { kSum, kMax, kMin };
 
+// Failure handling for WAN point-to-point traffic (MPWide-style: WAN
+// messaging libraries treat path degradation and reconnection as their
+// problem, not the application's).  A watchdog per WAN send retransmits
+// with exponential backoff; a delivery seen after a retransmission was
+// issued is suppressed as a duplicate, and a message whose retries are
+// exhausted is reported through the unreachable callback instead of
+// hanging the application forever.
+struct RetryPolicy {
+  des::SimTime timeout = des::SimTime::seconds(2);  // first-attempt watchdog
+  int max_retries = 3;                              // beyond the first send
+  double backoff = 2.0;                             // timeout multiplier
+};
+
 class Communicator {
  public:
   using RecvCallback = std::function<void(const Message&)>;
@@ -126,6 +139,26 @@ class Communicator {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  // --- failure handling ------------------------------------------------------
+  // Enable watchdog/retry on WAN point-to-point sends.  Off by default:
+  // the simulated TCP transport is reliable, so retries only matter when a
+  // FaultPlan (or manual Link::set_up) breaks the path mid-run.
+  void set_retry_policy(RetryPolicy policy) {
+    retry_ = policy;
+    retry_enabled_ = true;
+  }
+  // `attempts` counts every transmission of the abandoned message.
+  using UnreachableCallback =
+      std::function<void(int src_rank, int dst_rank, int attempts)>;
+  void on_unreachable(UnreachableCallback cb) { unreachable_ = std::move(cb); }
+
+  struct ReliabilityStats {
+    std::uint64_t wan_retries = 0;           // watchdog-triggered resends
+    std::uint64_t duplicates_suppressed = 0; // late originals after a retry
+    std::uint64_t unreachable_reports = 0;   // messages given up on
+  };
+  const ReliabilityStats& reliability() const { return reliability_; }
+
  private:
   struct PostedRecv {
     int source;
@@ -147,7 +180,20 @@ class Communicator {
     int root = 0;
   };
 
+  // In-flight state of one watchdog-guarded WAN message.
+  struct WanSendState {
+    int src_rank = 0, dst_rank = 0;
+    int src_machine = 0, dst_machine = 0;
+    std::uint64_t bytes = 0;
+    Message msg;
+    int attempts = 0;
+    bool delivered = false;
+    des::SimTime next_timeout;
+    des::EventHandle watchdog;
+  };
+
   void deliver(int dst_rank, Message msg);
+  void wan_attempt(std::shared_ptr<WanSendState> st);
   bool matches(const PostedRecv& r, const Message& m) const;
   // Staged completion of a collective that moves `bytes` per WAN hop;
   // `name` is the trace state every rank leaves on completion.
@@ -166,6 +212,10 @@ class Communicator {
                 gather_seq_ = 0, scatter_seq_ = 0, alltoall_seq_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  RetryPolicy retry_;
+  bool retry_enabled_ = false;
+  UnreachableCallback unreachable_;
+  ReliabilityStats reliability_;
   flow::Tracer tracer_;  // shared hook layer with the dataflow engine
 };
 

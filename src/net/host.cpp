@@ -45,6 +45,10 @@ des::SimTime Host::recv_cost(const IpPacket& pkt) const {
 }
 
 void Host::send_datagram(IpPacket pkt) {
+  if (!up_) {
+    ++outage_drops_;
+    return;
+  }
   const Route* route = lookup(pkt.dst);
   if (route == nullptr) {
     ++unroutable_;
@@ -89,6 +93,10 @@ void Host::emit(IpPacket pkt, const Route& route) {
 }
 
 void Host::receive_from_nic(IpPacket pkt) {
+  if (!up_) {
+    ++outage_drops_;
+    return;
+  }
   cpu_.execute(recv_cost(pkt), [this, pkt = std::move(pkt)]() mutable {
     if (pkt.dst != id_) {
       if (!forwarding_ || pkt.ttl == 0) {

@@ -74,6 +74,15 @@ class Host {
 
   void set_forwarding(bool on) { forwarding_ = on; }
 
+  // Take the host down (crash / reboot of a gateway workstation): while
+  // down it neither sends, receives, nor forwards — packets it would have
+  // handled are silently dropped and counted.  Transport state (TCP
+  // connections bound here) survives, as the processes do across a NIC or
+  // kernel-route outage.
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+  std::uint64_t outage_drops() const { return outage_drops_; }
+
   // Transport interface: send one datagram (fragmented at the egress NIC's
   // MTU if needed) after charging send-side CPU cost.
   void send_datagram(IpPacket pkt);
@@ -118,6 +127,8 @@ class Host {
   std::unordered_map<HostId, Route> routes_;
   Route default_route_;
   bool forwarding_ = false;
+  bool up_ = true;
+  std::uint64_t outage_drops_ = 0;
 
   std::map<std::pair<std::uint8_t, std::uint16_t>, PortHandler> handlers_;
   std::unordered_map<std::uint64_t, Reassembly> reassembly_;

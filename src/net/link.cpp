@@ -12,7 +12,29 @@ Link::Link(des::Scheduler& sched, std::string name, Config cfg)
   assert(cfg_.rate_bps > 0.0);
 }
 
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    // Flush the queue: anything waiting for the wire is lost with it.
+    for (const Frame& f : queue_) {
+      ++outage_drops_;
+      outage_dropped_bytes_ += f.wire_bytes;
+      queued_bytes_ -= f.wire_bytes;
+    }
+    queue_.clear();
+    queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+  } else {
+    maybe_start();
+  }
+}
+
 bool Link::submit(Frame f) {
+  if (!up_) {
+    ++outage_drops_;
+    outage_dropped_bytes_ += f.wire_bytes;
+    return false;
+  }
   if (queued_bytes_ + f.wire_bytes > cfg_.queue_limit_bytes) {
     ++drops_;
     dropped_bytes_ += f.wire_bytes;
@@ -37,10 +59,16 @@ void Link::maybe_start() {
   busy_accum_ += tx;
   sched_.schedule_after(tx, [this, f = std::move(f)]() mutable {
     transmitting_ = false;
-    ++frames_sent_;
-    bytes_sent_ += f.wire_bytes;
     queued_bytes_ -= f.wire_bytes;
     queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+    if (!up_) {
+      // The line was cut while this frame was being clocked out.
+      ++outage_drops_;
+      outage_dropped_bytes_ += f.wire_bytes;
+      return;
+    }
+    ++frames_sent_;
+    bytes_sent_ += f.wire_bytes;
     if (cfg_.bit_error_rate > 0.0) {
       // P(frame corrupted) = 1 - (1-BER)^bits; the AAL5 CRC discards it.
       const double bits = static_cast<double>(f.wire_bytes) * 8.0;

@@ -49,6 +49,18 @@ class Link {
   // attenuation/timing problems and their later fix.
   void set_bit_error_rate(double ber) { cfg_.bit_error_rate = ber; }
 
+  // Cut (or restore) the line.  While down, new submissions are refused,
+  // the queue is flushed and anything mid-transmission is lost — a fibre
+  // cut takes the photons with it.  Frames already past the link (in the
+  // propagation stage) still arrive.
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  // Shrink (or restore) the queue at runtime — a switch-buffer squeeze.
+  // Already-queued frames are kept even if they exceed the new limit; the
+  // limit gates admissions only.
+  void set_queue_limit(std::uint64_t bytes) { cfg_.queue_limit_bytes = bytes; }
+
   // Enqueue a frame; returns false (and counts a drop) on overflow.
   bool submit(Frame f);
 
@@ -60,6 +72,8 @@ class Link {
   std::uint64_t drops() const { return drops_; }
   std::uint64_t dropped_bytes() const { return dropped_bytes_; }
   std::uint64_t corrupted_frames() const { return corrupted_; }
+  std::uint64_t outage_drops() const { return outage_drops_; }
+  std::uint64_t outage_dropped_bytes() const { return outage_dropped_bytes_; }
   double utilization() const;   // busy fraction since construction
   double mean_queue_bytes() const;
 
@@ -74,12 +88,15 @@ class Link {
   std::deque<Frame> queue_;
   std::uint64_t queued_bytes_ = 0;
   bool transmitting_ = false;
+  bool up_ = true;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t dropped_bytes_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t outage_drops_ = 0;
+  std::uint64_t outage_dropped_bytes_ = 0;
   des::Rng rng_{0x6c696e6bULL};  // per-link error stream
   des::SimTime busy_accum_ = des::SimTime::zero();
   des::SimTime created_at_ = des::SimTime::zero();

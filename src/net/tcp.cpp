@@ -9,6 +9,12 @@ namespace {
 constexpr des::SimTime kMaxRto = des::SimTime::seconds(60.0);
 }
 
+std::uint64_t TcpConnection::ooo_bytes(const Endpoint& e) {
+  std::uint64_t total = 0;
+  for (const auto& [a, b] : e.ooo) total += b - a;
+  return total;
+}
+
 TcpConnection::TcpConnection(Host& a, Host& b, std::uint16_t port_a,
                              std::uint16_t port_b, TcpConfig config)
     : sched_(a.scheduler()), cfg_(config) {
@@ -47,9 +53,15 @@ void TcpConnection::send(int side, std::uint64_t bytes, std::any data,
 }
 
 std::uint64_t TcpConnection::window_bytes(const Endpoint& e,
-                                          const Endpoint&) const {
+                                          const Endpoint& peer) const {
+  // The peer advertises its *remaining* buffer: the receive buffer minus
+  // bytes parked out of order awaiting a hole fill (in-order data is
+  // consumed by the application immediately in this model).
+  const std::uint64_t buffered = ooo_bytes(peer);
+  const std::uint64_t advertised =
+      cfg_.recv_buffer > buffered ? cfg_.recv_buffer - buffered : 0;
   const auto cwnd = static_cast<std::uint64_t>(e.cwnd);
-  return std::min<std::uint64_t>(cwnd, cfg_.recv_buffer);
+  return std::min<std::uint64_t>(cwnd, advertised);
 }
 
 void TcpConnection::try_send(int side) {
@@ -57,13 +69,21 @@ void TcpConnection::try_send(int side) {
   const std::uint64_t window = window_bytes(e, ep_[1 - side]);
   while (e.snd_nxt < e.snd_end) {
     const std::uint64_t inflight = e.snd_nxt - e.snd_una;
-    if (inflight >= window) break;
-    const std::uint64_t room = window - inflight;
+    std::uint64_t room = inflight >= window ? 0 : window - inflight;
+    // Persist-probe rule: the segment at snd_una is the hole the peer's
+    // out-of-order backlog is waiting on, so it always fits the peer's
+    // buffer.  Letting it through keeps recovery alive even when the
+    // backlog has collapsed the advertised window below one MSS.
+    if (room < cfg_.mss && e.snd_nxt == e.snd_una) room = cfg_.mss;
     const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         {cfg_.mss, e.snd_end - e.snd_nxt, room}));
     if (len == 0) break;
-    send_segment(side, e.snd_nxt, len, /*retransmit=*/false);
+    // Anything below the high-water mark has been on the wire before
+    // (go-back-N after a timeout), so it counts as a retransmission and is
+    // never timed (Karn's rule).
+    send_segment(side, e.snd_nxt, len, /*retransmit=*/e.snd_nxt < e.snd_max);
     e.snd_nxt += len;
+    e.snd_max = std::max(e.snd_max, e.snd_nxt);
   }
 }
 
@@ -127,11 +147,15 @@ void TcpConnection::process_data(int side, const SegMeta& m) {
   Endpoint& e = ep_[side];
   const std::uint64_t seg_end = m.seq + m.len;
   if (seg_end <= e.rcv_nxt) {
-    // Old duplicate; re-ACK so the sender can make progress.
-    send_ack(side);
+    // Old duplicate; re-ACK immediately (RFC 5681 section 4.2) so the
+    // sender's duplicate-ACK machinery is never throttled by the
+    // delayed-ACK timer.
+    ++e.stats.dup_segments_received;
+    send_ack(side, /*immediate=*/true);
     return;
   }
   if (m.seq <= e.rcv_nxt) {
+    const bool filled_hole = !e.ooo.empty();
     e.rcv_nxt = seg_end;
     // Pull in any out-of-order data now contiguous.
     auto it = e.ooo.begin();
@@ -140,27 +164,44 @@ void TcpConnection::process_data(int side, const SegMeta& m) {
       it = e.ooo.erase(it);
     }
     deliver_messages(1 - side);
-  } else {
-    // Hole: stash the interval, keeping the list sorted and merged.
-    auto pos = std::lower_bound(
-        e.ooo.begin(), e.ooo.end(), std::make_pair(m.seq, seg_end));
-    pos = e.ooo.insert(pos, {m.seq, seg_end});
-    // Merge neighbours.
-    if (pos != e.ooo.begin() && std::prev(pos)->second >= pos->first) {
-      std::prev(pos)->second = std::max(std::prev(pos)->second, pos->second);
-      pos = std::prev(e.ooo.erase(pos));
-    }
-    while (std::next(pos) != e.ooo.end() && pos->second >= std::next(pos)->first) {
-      pos->second = std::max(pos->second, std::next(pos)->second);
-      e.ooo.erase(std::next(pos));
+    // A segment that fills (part of) a hole is ACKed immediately; plain
+    // in-order arrivals may take the delayed path.
+    send_ack(side, filled_hole);
+    return;
+  }
+  {
+    // Hole: stash the interval, keeping the list sorted and merged.  Data
+    // beyond the receive buffer was never admissible under the advertised
+    // window (a well-behaved sender cannot reach it; a buggy one gets it
+    // discarded), which bounds the out-of-order list.
+    const std::uint64_t limit = e.rcv_nxt + cfg_.recv_buffer;
+    const std::uint64_t stash_end = std::min(seg_end, limit);
+    if (m.seq < limit) {
+      auto pos = std::lower_bound(
+          e.ooo.begin(), e.ooo.end(), std::make_pair(m.seq, stash_end));
+      if (pos != e.ooo.begin() && std::prev(pos)->second >= stash_end)
+        ++e.stats.dup_segments_received;  // wholly inside a buffered interval
+      pos = e.ooo.insert(pos, {m.seq, stash_end});
+      // Merge neighbours.
+      if (pos != e.ooo.begin() && std::prev(pos)->second >= pos->first) {
+        std::prev(pos)->second = std::max(std::prev(pos)->second, pos->second);
+        pos = std::prev(e.ooo.erase(pos));
+      }
+      while (std::next(pos) != e.ooo.end() &&
+             pos->second >= std::next(pos)->first) {
+        pos->second = std::max(pos->second, std::next(pos)->second);
+        e.ooo.erase(std::next(pos));
+      }
+      e.stats.max_ooo_bytes = std::max(e.stats.max_ooo_bytes, ooo_bytes(e));
     }
   }
-  send_ack(side);
+  // Out-of-order arrival: immediate duplicate ACK (RFC 5681), never delayed.
+  send_ack(side, /*immediate=*/true);
 }
 
-void TcpConnection::send_ack(int side) {
+void TcpConnection::send_ack(int side, bool immediate) {
   Endpoint& e = ep_[side];
-  if (cfg_.delayed_ack) {
+  if (cfg_.delayed_ack && !immediate) {
     if (e.ack_pending) {
       // Second segment since the last ACK: flush immediately (RFC 1122).
       e.ack_timer.cancel();
@@ -172,6 +213,7 @@ void TcpConnection::send_ack(int side) {
                                         [this, side]() { flush_ack(side); });
     return;
   }
+  e.ack_timer.cancel();
   flush_ack(side);
 }
 
@@ -193,6 +235,11 @@ void TcpConnection::process_ack(int side, const SegMeta& m) {
   Endpoint& e = ep_[side];
   if (m.ack > e.snd_una) {
     e.snd_una = m.ack;
+    // During go-back-N an ACK can overtake the reset send point (the first
+    // resent segment fills a hole and the cumulative ACK jumps past it);
+    // without this snap `snd_nxt - snd_una` underflows and the sender
+    // stalls until the next (doubled) RTO.
+    if (e.snd_nxt < e.snd_una) e.snd_nxt = e.snd_una;
     e.stats.bytes_acked = e.snd_una;
     e.dupacks = 0;
     // RTT sample.
@@ -224,7 +271,10 @@ void TcpConnection::process_ack(int side, const SegMeta& m) {
       arm_rto(side);
     }
     try_send(side);
-  } else if (m.ack == e.snd_una && e.snd_nxt > e.snd_una) {
+  } else if (m.ack == e.snd_una && e.snd_nxt > e.snd_una && m.len == 0) {
+    // RFC 5681: only segments carrying *no data* count as duplicate ACKs;
+    // the peer's data segments repeat the cumulative ACK as a side effect
+    // and must not trigger fast retransmit on bidirectional transfers.
     if (++e.dupacks == 3) {
       // Fast retransmit + multiplicative decrease.
       ++e.stats.fast_retransmits;

@@ -60,6 +60,12 @@ class TcpConnection {
     std::uint64_t retransmits = 0;
     std::uint64_t fast_retransmits = 0;
     std::uint64_t timeouts = 0;
+    // Receive side: high-water mark of bytes buffered out of order (bounded
+    // by the advertised window, which shrinks as the backlog grows), and
+    // segments that arrived carrying only data the receiver already held —
+    // the cost of a sender retransmitting into an occupied buffer.
+    std::uint64_t max_ooo_bytes = 0;
+    std::uint64_t dup_segments_received = 0;
     double srtt_ms = -1.0;
     double cwnd_bytes = 0.0;
   };
@@ -84,6 +90,7 @@ class TcpConnection {
     // --- send state ---
     std::uint64_t snd_una = 0;   // oldest unacknowledged byte
     std::uint64_t snd_nxt = 0;   // next byte to transmit
+    std::uint64_t snd_max = 0;   // highest byte ever transmitted
     std::uint64_t snd_end = 0;   // bytes queued by the application
     std::deque<Message> messages;
     double cwnd = 0.0;
@@ -118,12 +125,13 @@ class TcpConnection {
   void try_send(int side);
   void send_segment(int side, std::uint64_t seq, std::uint32_t len,
                     bool retransmit);
-  void send_ack(int side);
+  void send_ack(int side, bool immediate = false);
   void flush_ack(int side);
   void arm_rto(int side);
   void on_rto(int side);
   void deliver_messages(int sender_side);
   std::uint64_t window_bytes(const Endpoint& e, const Endpoint& peer) const;
+  static std::uint64_t ooo_bytes(const Endpoint& e);
 
   des::Scheduler& sched_;
   TcpConfig cfg_;

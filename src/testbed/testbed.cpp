@@ -218,6 +218,14 @@ void Testbed::set_wan_bit_error_rate(double ber) {
   atm_g_->egress_link(wan_port_g_).set_bit_error_rate(ber);
 }
 
+net::Link& Testbed::wan_link_j_to_g() {
+  return atm_j_->egress_link(wan_port_j_);
+}
+
+net::Link& Testbed::wan_link_g_to_j() {
+  return atm_g_->egress_link(wan_port_g_);
+}
+
 void Testbed::shape_host_vc(const std::string& src_host,
                             const std::string& dst_host, double rate_bps) {
   net::Host* src = by_name_.at(src_host);

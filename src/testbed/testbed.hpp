@@ -81,6 +81,11 @@ class Testbed {
   // attenuation/timing troubles); 0 restores a clean line.
   void set_wan_bit_error_rate(double ber);
 
+  // The WAN fibre itself, per direction — the natural target for scripted
+  // faults (net::FaultPlan link flaps, BER bursts, buffer squeezes).
+  net::Link& wan_link_j_to_g();
+  net::Link& wan_link_g_to_j();
+
  protected:
   // Shared with ExtendedTestbed (section-5 sites build on the same plumbing).
   net::Host* add_host(const std::string& name, net::HostCosts costs);

@@ -294,6 +294,45 @@ TEST(PeriodicSourceTest, ImmediateFirstEmitsSynchronouslyAndSignalsLast) {
   EXPECT_TRUE(last);
 }
 
+TEST(FlowGraphTest, DegradedModeForcesNewestWinsAndTimesRecovery) {
+  Scheduler sched;
+  // Sequential request/reply with plain FIFO admission: normally every
+  // pushed item eventually runs.
+  flow::StageGraph g(sched, {/*max_in_flight=*/1,
+                             /*admission=*/flow::QueuePolicy::kFifo});
+  g.add_stage(flow::compute_stage("work", [](const flow::Item&) {
+    return sec(1.0);
+  }));
+  std::vector<int> done;
+  g.on_complete([&](const flow::Item& it) { done.push_back(it.index); });
+
+  // Items every 0.5 s; the graph is degraded during [2 s, 6.25 s).  The
+  // window ends off the completion grid (integer seconds) so the recovery
+  // interval to the next completion is strictly positive.
+  for (int i = 0; i < 12; ++i) {
+    sched.schedule_at(sec(0.5 * i), [&g, i]() { g.push(i); });
+  }
+  sched.schedule_at(sec(2.0), [&g]() { g.set_degraded(true); });
+  sched.schedule_at(sec(6.25), [&g]() { g.set_degraded(false); });
+  sched.run();
+
+  const auto& m = g.metrics();
+  EXPECT_EQ(m.degraded_spans, 1u);
+  EXPECT_EQ(m.recoveries, 1u);
+  EXPECT_EQ(m.degraded_time, sec(4.25));
+  // While degraded, the backlog behind the busy stage is superseded
+  // newest-wins instead of queueing.
+  EXPECT_GT(m.degraded_dropped, 0u);
+  EXPECT_EQ(m.degraded_dropped, m.admission_dropped);
+  // Recovery clock: set_degraded(false) -> next completion.
+  EXPECT_GT(m.last_recovery_time, des::SimTime::zero());
+  EXPECT_LE(m.last_recovery_time, sec(1.0));
+  // Everything pushed was either completed or accounted as dropped.
+  EXPECT_EQ(m.pushed, done.size() + m.admission_dropped);
+  EXPECT_FALSE(g.degraded());
+  EXPECT_EQ(g.in_flight(), 0);
+}
+
 TEST(PeriodicSourceTest, StopCancelsFurtherTicks) {
   Scheduler sched;
   flow::StageGraph g(sched);

@@ -21,6 +21,7 @@ struct TcpFixture {
   AtmNic nic_a;
   AtmNic nic_b;
   VcAllocator vcs;
+  int pa = -1, pb = -1;
 
   explicit TcpFixture(double bottleneck_bps = 622 * kMbit,
                       std::uint64_t bottleneck_queue = 4u << 20,
@@ -33,9 +34,9 @@ struct TcpFixture {
         nic_b(sched, b, "b.atm",
               Link::Config{622 * kMbit, prop, 16u << 20, des::SimTime::zero()},
               kMtuAtmDefault) {
-    const int pa = sw.add_port(
+    pa = sw.add_port(
         Link::Config{622 * kMbit, prop, 16u << 20, des::SimTime::zero()});
-    const int pb = sw.add_port(
+    pb = sw.add_port(
         Link::Config{bottleneck_bps, prop, bottleneck_queue,
                      des::SimTime::zero()});
     nic_a.uplink().set_sink(sw.ingress(pa));
@@ -45,6 +46,28 @@ struct TcpFixture {
     vcs.provision(nic_a, nic_b, {{&sw, pa, pb}});
     a.add_route(2, &nic_a, 2);
     b.add_route(1, &nic_b, 1);
+  }
+
+  // Deterministic single loss: drop exactly the n-th data frame (ACKs are
+  // 40-byte PDUs, data frames are MTU-sized) leaving a toward the switch.
+  void drop_nth_data_frame(int n) {
+    FrameSink pass = sw.ingress(pa);
+    auto count = std::make_shared<int>(0);
+    nic_a.uplink().set_sink([pass, count, n](Frame fr) {
+      if (fr.wire_bytes > 1000 && ++*count == n) return;
+      pass(std::move(fr));
+    });
+  }
+
+  // One-way outage on b's uplink: every frame b sends (the ACK path in a
+  // one-directional transfer) is dropped while `from <= now < until`.
+  void silence_b_uplink(des::SimTime from, des::SimTime until) {
+    FrameSink pass = sw.ingress(pb);
+    nic_b.uplink().set_sink([this, pass, from, until](Frame fr) {
+      const des::SimTime now = sched.now();
+      if (now >= from && now < until) return;
+      pass(std::move(fr));
+    });
   }
 };
 
@@ -179,6 +202,85 @@ TEST(TcpTest, DelayedAckStillCompletes) {
   EXPECT_TRUE(delivered);
   // Delayed ACKs halve (roughly) the ACK count.
   EXPECT_LT(conn.stats(1).acks_sent, conn.stats(0).segments_sent);
+}
+
+TEST(TcpTest, DelayedAckStillFastRetransmitsOnLoss) {
+  // RFC 5681: out-of-order segments must be ACKed immediately even with
+  // delayed ACKs enabled, otherwise the duplicate-ACK stream that drives
+  // fast retransmit is throttled by the delayed-ACK timer and the sender
+  // falls back to a (much slower) RTO.  Drop the 17th of 20 segments so
+  // only three follow the hole: exactly the three immediate dup-ACKs fast
+  // retransmit needs, and too few for the delayed path to produce in time.
+  TcpFixture f;
+  TcpConfig cfg;
+  cfg.delayed_ack = true;
+  f.drop_nth_data_frame(17);
+  TcpConnection conn(f.a, f.b, 100, 200, cfg);
+  bool delivered = false;
+  conn.send(0, 20ull * cfg.mss, {}, [&](const std::any&, des::SimTime) {
+    delivered = true;
+  });
+  f.sched.run();
+  EXPECT_TRUE(delivered);
+  const auto st = conn.stats(0);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.fast_retransmits, 1u);
+}
+
+TEST(TcpTest, BidirectionalDataSegmentsAreNotDuplicateAcks) {
+  // RFC 5681 defines a duplicate ACK as carrying *no data*.  With a slow
+  // a->b direction and a fast b->a direction, b's data segments repeat the
+  // same cumulative ACK many times while a's data trickles in; counting
+  // them as dup-ACKs fires spurious fast retransmits on a loss-free path.
+  TcpFixture f(/*bottleneck_bps=*/100 * kMbit);
+  TcpConnection conn(f.a, f.b, 100, 200);
+  bool d0 = false, d1 = false;
+  conn.send(0, 1u << 20, {}, [&](const std::any&, des::SimTime) { d0 = true; });
+  conn.send(1, 1u << 20, {}, [&](const std::any&, des::SimTime) { d1 = true; });
+  f.sched.run();
+  EXPECT_TRUE(d0);
+  EXPECT_TRUE(d1);
+  for (int side : {0, 1}) {
+    EXPECT_EQ(conn.stats(side).fast_retransmits, 0u) << "side " << side;
+    EXPECT_EQ(conn.stats(side).retransmits, 0u) << "side " << side;
+  }
+}
+
+TEST(TcpTest, ReceiverWindowShrinksWithOutOfOrderBacklog) {
+  // The advertised window must account for bytes buffered out of order:
+  // while a hole exists, the sender may only fill the *remaining* buffer.
+  // An app-limited stream keeps try_send active without needing ACKs (the
+  // other trigger), so after one mid-stream drop plus a one-way ACK-path
+  // outage the only thing standing between the sender and the receiver's
+  // buffer is the advertised window.  With the static-window bug the
+  // sender pours the entire 64 KB buffer in out of order; with a window
+  // that shrinks as the backlog grows it stalls near half.
+  TcpFixture f(622 * kMbit, 16u << 20, des::SimTime::milliseconds(10));
+  TcpConfig cfg;
+  cfg.recv_buffer = 64u << 10;
+  f.drop_nth_data_frame(30);  // sent at t = 29 * 13 ms = 377 ms
+  f.silence_b_uplink(des::SimTime::milliseconds(420),   // pre-hole ACKs land
+                     des::SimTime::milliseconds(700));
+  TcpConnection conn(f.a, f.b, 100, 200, cfg);
+  constexpr int kMessages = 120;
+  std::uint64_t delivered_bytes = 0;
+  const std::uint64_t mss = cfg.mss;
+  for (int i = 0; i < kMessages; ++i) {
+    f.sched.schedule_at(
+        des::SimTime::milliseconds(13 * i), [&conn, &delivered_bytes, mss]() {
+          conn.send(0, mss, {},
+                    [&delivered_bytes, mss](const std::any&, des::SimTime) {
+                      delivered_bytes += mss;
+                    });
+        });
+  }
+  f.sched.run();
+  EXPECT_EQ(delivered_bytes, std::uint64_t{kMessages} * cfg.mss);
+  EXPECT_EQ(conn.stats(0).bytes_acked, std::uint64_t{kMessages} * cfg.mss);
+  // The backlog must be real (the outage bit) yet bounded by the shrinking
+  // window: the static window lets it reach ~56 KB of the 64 KB buffer.
+  EXPECT_GT(conn.stats(1).max_ooo_bytes, 2ull * cfg.mss);
+  EXPECT_LE(conn.stats(1).max_ooo_bytes, (32u << 10) + cfg.mss);
 }
 
 TEST(TcpTest, StatsAreConsistent) {
