@@ -5,6 +5,16 @@
 
 namespace gtw::des {
 
+namespace {
+// FNV-1a over the 8 bytes of `v`, little-endian.
+void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+}
+}  // namespace
+
 void EventHandle::cancel() {
   if (sched_ != nullptr && seq_ != 0) {
     sched_->cancel(seq_);
@@ -71,6 +81,8 @@ bool Scheduler::step(SimTime horizon) {
     --live_events_;
     now_ = e->when;
     ++executed_;
+    fnv1a_mix(stream_hash_, static_cast<std::uint64_t>(e->when.ps()));
+    fnv1a_mix(stream_hash_, e->seq);
     Action action = std::move(e->action);
     delete e;
     action();

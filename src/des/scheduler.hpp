@@ -8,7 +8,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "des/time.hpp"
@@ -60,6 +60,11 @@ class Scheduler {
 
   bool empty() const { return live_events_ == 0; }
   std::uint64_t events_executed() const { return executed_; }
+  // Running FNV-1a hash over the executed event stream — each fired event
+  // folds in its (timestamp, sequence) pair.  Two executions of the same
+  // simulation must report identical hashes; the determinism regression
+  // tests and the double-run replay gate compare exactly this.
+  std::uint64_t stream_hash() const { return stream_hash_; }
   // Heap entries including cancelled ones not yet swept/popped — lets tests
   // observe that cancellation churn does not accumulate garbage.
   std::size_t queued_entries() const { return heap_.size(); }
@@ -88,16 +93,22 @@ class Scheduler {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t stream_hash_ = 14695981039346656037ULL;  // FNV-1a offset
+
   std::uint64_t live_events_ = 0;
   // Entries are heap-allocated; heap_ is a binary heap (std::push_heap /
   // std::pop_heap over Order) of raw pointers and pending_ indexes them by
-  // sequence number for O(1) cancellation.  Cancelled entries are deleted
+  // sequence number for O(log n) cancellation.  Cancelled entries are deleted
   // lazily when popped, but once they outnumber the live entries the whole
   // heap is swept and rebuilt so cancellation-heavy workloads (retransmit
   // timers, superseded frames) stay O(live), not O(ever-scheduled).
   std::vector<Entry*> heap_;
   std::size_t cancelled_in_heap_ = 0;
-  std::unordered_map<std::uint64_t, Entry*> pending_;
+  // Ordered map (not unordered): the simulator's determinism contract bans
+  // containers with unspecified iteration order from event-producing code
+  // (see tools/lint/gtw_lint.py, rule unordered-container), and seq keys
+  // arrive monotonically so the tree stays balanced cheaply.
+  std::map<std::uint64_t, Entry*> pending_;
 };
 
 }  // namespace gtw::des

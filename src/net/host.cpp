@@ -55,7 +55,8 @@ void Host::send_datagram(IpPacket pkt) {
     return;
   }
   pkt.src = id_;
-  if (pkt.datagram_id == 0) pkt.datagram_id = next_datagram_id();
+  if (pkt.datagram_id == 0)
+    pkt.datagram_id = static_cast<std::uint32_t>(next_datagram_id());
 
   const std::uint32_t mtu = route->nic->mtu();
   if (pkt.total_bytes <= mtu) {

@@ -13,7 +13,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "des/scheduler.hpp"
@@ -124,14 +123,17 @@ class Host {
   HostCosts costs_;
   CpuResource cpu_;
 
-  std::unordered_map<HostId, Route> routes_;
+  // Ordered maps (not unordered): host state sits on every packet's path,
+  // and the determinism contract bans unspecified iteration order from
+  // event-producing code (tools/lint/gtw_lint.py, rule unordered-container).
+  std::map<HostId, Route> routes_;
   Route default_route_;
   bool forwarding_ = false;
   bool up_ = true;
   std::uint64_t outage_drops_ = 0;
 
   std::map<std::pair<std::uint8_t, std::uint16_t>, PortHandler> handlers_;
-  std::unordered_map<std::uint64_t, Reassembly> reassembly_;
+  std::map<std::uint64_t, Reassembly> reassembly_;
 
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;

@@ -1,5 +1,7 @@
 #include "testbed/extensions.hpp"
 
+#include <algorithm>
+
 #include "net/units.hpp"
 
 namespace gtw::testbed {
@@ -63,7 +65,8 @@ net::Host* ExtendedTestbed::add_site(const std::string& host_name,
       // provisioner only needs ports, so route via the GMD trunk pair.
       // (Site-to-site VCs hop: site A -> GMD -> site B.)
       // The GMD-side port for switch a.sw is recorded in site_trunk_.
-      auto it = site_trunk_.find(a.sw);
+      auto it = std::find_if(site_trunk_.begin(), site_trunk_.end(),
+                             [&](const auto& e) { return e.first == a.sw; });
       if (it == site_trunk_.end()) continue;
       path.push_back({&gmd, port_gmd_to_site, it->second});
       path.push_back({a.sw, /*in=*/0, a.port});
@@ -74,7 +77,7 @@ net::Host* ExtendedTestbed::add_site(const std::string& host_name,
     host->add_route(a.nic->owner().id(), nic, a.nic->owner().id());
     a.nic->owner().add_route(host->id(), a.nic, host->id());
   }
-  site_trunk_[&sw] = port_gmd_to_site;
+  site_trunk_.emplace_back(&sw, port_gmd_to_site);
 
   // Supercomputers behind the gateways.
   host->add_route(t3e600().id(), nic, gw_o200().id());

@@ -10,6 +10,9 @@
 // a 622 Mbit/s link for Bonn, and one compute/visualization host per site.
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "testbed/testbed.hpp"
 
 namespace gtw::testbed {
@@ -37,7 +40,9 @@ class ExtendedTestbed : public Testbed {
 
   std::unique_ptr<net::AtmSwitch> sw_dlr_, sw_cologne_, sw_bonn_;
   // GMD-side trunk port per extension-site switch (for site-to-site VCs).
-  std::map<net::AtmSwitch*, int> site_trunk_;
+  // A flat vector searched by pointer *identity* — never ordered or hashed
+  // by address (gtw-lint rule pointer-order), and only ever 3 entries.
+  std::vector<std::pair<net::AtmSwitch*, int>> site_trunk_;
   net::Host* dlr_ = nullptr;
   net::Host* cologne_ = nullptr;
   net::Host* bonn_ = nullptr;

@@ -218,8 +218,10 @@ std::string TraceStats::gantt(int columns) const {
     std::vector<std::pair<std::uint32_t, std::int64_t>> stack;
     auto paint = [&](std::int64_t from, std::int64_t to, std::uint32_t state) {
       if (state == 0) return;
-      int a = static_cast<int>((from - span_begin_ps_) / span * columns);
-      int b = static_cast<int>((to - span_begin_ps_) / span * columns);
+      int a = static_cast<int>(
+          static_cast<double>(from - span_begin_ps_) / span * columns);
+      int b = static_cast<int>(
+          static_cast<double>(to - span_begin_ps_) / span * columns);
       a = std::clamp(a, 0, columns - 1);
       b = std::clamp(b, a, columns - 1);
       const char c = rec_.state_name(state).empty()

@@ -20,7 +20,8 @@ TEST(InterfaceMeshTest, UniformSpansUnitInterval) {
 TEST(TransferTest, IdentityOnMatchingMeshes) {
   const InterfaceMesh m = InterfaceMesh::uniform(17);
   std::vector<double> v(17);
-  for (std::size_t i = 0; i < 17; ++i) v[i] = std::sin(0.3 * i);
+  for (std::size_t i = 0; i < 17; ++i)
+    v[i] = std::sin(0.3 * static_cast<double>(i));
   const auto out = transfer(v, m, m);
   for (std::size_t i = 0; i < 17; ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
 }

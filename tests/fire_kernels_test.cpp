@@ -82,7 +82,8 @@ TEST(ReferenceTest, HrfKernelIsNormalisedAndPeaksNearDelay) {
   const double sum = std::accumulate(h.begin(), h.end(), 0.0);
   EXPECT_NEAR(sum, 1.0, 1e-9);
   const auto peak = std::max_element(h.begin(), h.end());
-  const double t_peak = (std::distance(h.begin(), peak) + 0.5) * 0.1;
+  const double t_peak =
+      (static_cast<double>(std::distance(h.begin(), peak)) + 0.5) * 0.1;
   EXPECT_NEAR(t_peak, 6.0, 1.0);
 }
 

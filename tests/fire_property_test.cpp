@@ -62,7 +62,8 @@ TEST_P(HrfDelaySweep, KernelPeakTracksDelayParameter) {
   const double delay = GetParam();
   const auto h = hrf_kernel(HrfParams{delay, 1.5}, 0.05);
   const auto peak = std::max_element(h.begin(), h.end());
-  const double t_peak = (std::distance(h.begin(), peak) + 0.5) * 0.05;
+  const double t_peak =
+      (static_cast<double>(std::distance(h.begin(), peak)) + 0.5) * 0.05;
   // Gamma mode = mean - sd^2/mean; allow that analytic offset.
   const double mode = delay - 1.5 * 1.5 / delay;
   EXPECT_NEAR(t_peak, mode, 0.5);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Double-run determinism gate.
+
+Runs a seeded benchmark (or any artifact-writing command) twice, each time
+in a fresh empty directory, and fails unless every artifact both runs
+produced is byte-identical.  This is the runtime complement to the static
+rules in tools/lint/gtw_lint.py: gtw-lint bans the constructs that *cause*
+divergence, this gate proves the absence of divergence end to end — same
+binary, same seed, same bytes out.
+
+Benchmark binaries in this repo write their reproduction artifacts
+(BENCH_*.json) from main() before google-benchmark takes over, so passing
+a never-matching --benchmark_filter replays the deterministic simulation
+without timing noise.
+
+Exit status: 0 byte-identical, 1 divergence (or no artifacts), 2 usage or
+subprocess failure.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+
+# Matches no benchmark name, so only the deterministic artifact-writing
+# part of the binary runs.
+NO_BENCHMARKS = "--benchmark_filter=$^"
+
+
+def run_once(cmd: list[str], workdir: str, pattern: str) -> dict[str, bytes]:
+    proc = subprocess.run(cmd, cwd=workdir, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        raise RuntimeError(
+            f"command exited {proc.returncode}: {' '.join(cmd)}")
+    artifacts: dict[str, bytes] = {}
+    for path in sorted(glob.glob(os.path.join(workdir, pattern))):
+        with open(path, "rb") as f:
+            artifacts[os.path.basename(path)] = f.read()
+    return artifacts
+
+
+def first_difference(a: bytes, b: bytes) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="determinism_gate", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench", required=True,
+                    help="benchmark binary to replay twice")
+    ap.add_argument("--artifact-glob", default="BENCH_*.json",
+                    help="artifacts to compare (default: BENCH_*.json)")
+    ap.add_argument("--arg", action="append", default=None, dest="args",
+                    help="extra argument to pass instead of the default "
+                         "never-matching --benchmark_filter (repeatable)")
+    args = ap.parse_args(argv)
+
+    cmd = [os.path.abspath(args.bench)]
+    cmd += args.args if args.args is not None else [NO_BENCHMARKS]
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="det_run1_") as d1, \
+                tempfile.TemporaryDirectory(prefix="det_run2_") as d2:
+            run1 = run_once(cmd, d1, args.artifact_glob)
+            run2 = run_once(cmd, d2, args.artifact_glob)
+    except (RuntimeError, OSError) as e:
+        print(f"determinism-gate: ERROR: {e}", file=sys.stderr)
+        return 2
+
+    if not run1:
+        print(f"determinism-gate: ERROR: no artifacts matching "
+              f"'{args.artifact_glob}' were produced — the gate would "
+              f"vacuously pass", file=sys.stderr)
+        return 1
+
+    status = 0
+    for name in sorted(set(run1) | set(run2)):
+        a, b = run1.get(name), run2.get(name)
+        if a is None or b is None:
+            print(f"determinism-gate: FAIL: {name} written by only one run")
+            status = 1
+            continue
+        if a == b:
+            digest = hashlib.sha256(a).hexdigest()[:16]
+            print(f"determinism-gate: ok: {name} "
+                  f"({len(a)} bytes, sha256 {digest})")
+            continue
+        off = first_difference(a, b)
+        ctx_a = a[max(0, off - 20):off + 20].decode(errors="replace")
+        ctx_b = b[max(0, off - 20):off + 20].decode(errors="replace")
+        print(f"determinism-gate: FAIL: {name} diverges at byte {off} "
+              f"(sizes {len(a)} vs {len(b)})\n"
+              f"  run1: ...{ctx_a!r}...\n  run2: ...{ctx_b!r}...")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,12 @@
+// Fixture: rule past-schedule must fire on both textually-negative
+// schedule targets below.  Not compiled — lint fixture only.
+struct Sched {
+  long now() const { return 1000; }
+  void schedule_at(long when, int ev);
+  void schedule_after(long delay, int ev);
+};
+
+void rewind(Sched& s) {
+  s.schedule_after(-5, 1);
+  s.schedule_at(s.now() - 50, 2);
+}

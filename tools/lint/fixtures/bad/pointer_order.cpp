@@ -1,0 +1,14 @@
+// Fixture: rule pointer-order must fire on the pointer-keyed ordered
+// containers and the pointer hash below.  Not compiled — lint fixture only.
+#include <functional>
+#include <map>
+#include <set>
+
+struct Link;
+
+struct Fabric {
+  std::map<Link*, int> port_by_link;
+  std::set<Link*> active_links;
+};
+
+std::size_t link_bucket(Link* l) { return std::hash<Link*>{}(l); }

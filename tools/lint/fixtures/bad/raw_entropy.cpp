@@ -1,0 +1,13 @@
+// Fixture: rule raw-entropy must fire on every entropy source below.
+// Not compiled — lint fixture only.
+#include <cstdlib>
+#include <random>
+
+int jitter_ms() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  (void)gen;
+  return rand() % 7;
+}
+
+void reseed() { srand(42); }

@@ -1,0 +1,8 @@
+// Fixture: rule unordered-container must fire on the member declaration.
+// Not compiled — lint fixture only (see tools/lint/lint_selftest.py).
+#include <cstdint>
+#include <unordered_map>
+
+struct EventRouter {
+  std::unordered_map<std::uint64_t, int> pending_;
+};

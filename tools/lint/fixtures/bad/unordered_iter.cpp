@@ -1,0 +1,19 @@
+// Fixture: rule unordered-iter must fire on both iteration forms below
+// (range-for and explicit .begin()); the declaration itself also trips
+// unordered-container.  Not compiled — lint fixture only.
+#include <unordered_map>
+
+struct HostTable {
+  std::unordered_map<int, int> routes_;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& kv : routes_) sum += kv.second;
+    return sum;
+  }
+
+  int first_key() const {
+    auto it = routes_.begin();
+    return it == routes_.end() ? -1 : it->first;
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: rule wall-clock must fire on every host-clock read below.
+// Not compiled — lint fixture only.
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  auto tp = std::chrono::steady_clock::now();
+  (void)tp;
+  auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  return static_cast<long>(time(nullptr));
+}

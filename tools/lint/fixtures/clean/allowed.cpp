@@ -1,0 +1,20 @@
+// Fixture: every hazard below carries a `gtw-lint: allow(...)` annotation
+// (same-line and line-above forms), so no rule may fire.  Not compiled —
+// lint fixture only.
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Widget;
+
+struct Cache {
+  // Pure point lookups keyed by id; never iterated, ordering never escapes.
+  // gtw-lint: allow(unordered-container)
+  std::unordered_map<int, int> by_id_;
+
+  std::map<Widget*, int> scratch_;  // gtw-lint: allow(pointer-order)
+};
+
+inline int legacy_seed() {
+  return rand();  // gtw-lint: allow(raw-entropy)
+}

@@ -1,0 +1,33 @@
+// Fixture: no rule may fire here — the deterministic counterparts of every
+// hazard (ordered containers, seeded Rng, DES clock, id keys, forward
+// scheduling).  Not compiled — lint fixture only.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Rng {
+  std::uint64_t next_u64();
+};
+
+struct Sched {
+  long now() const { return 1000; }
+  void schedule_at(long when, int ev);
+  void schedule_after(long delay, int ev);
+};
+
+struct RouteTable {
+  std::map<std::uint32_t, int> routes_;
+  std::set<std::uint64_t> live_ids_;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& kv : routes_) sum += kv.second;
+    return sum;
+  }
+};
+
+void arm(Sched& s, Rng& rng) {
+  s.schedule_after(static_cast<long>(rng.next_u64() % 100), 1);
+  s.schedule_at(s.now() + 50, 2);
+}

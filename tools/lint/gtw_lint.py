@@ -1,0 +1,314 @@
+#!/usr/bin/env python3
+"""gtw-lint: determinism & simulation-correctness checker for the testbed.
+
+Every reproduced number in this repo rests on the claim that the DES is a
+pure function of its inputs and seeds.  gtw-lint encodes that claim as
+machine-checked source rules:
+
+  unordered-container   std::unordered_{map,set,multimap,multiset} declared
+                        in simulator code.  Their iteration order is
+                        unspecified and varies across libstdc++ versions and
+                        hash seeds; an innocent range-for later turns into a
+                        run-to-run divergence.  Use std::map/std::set, or a
+                        vector sorted on a stable key.
+  unordered-iter        Iteration (range-for, or .begin()/iterator walk)
+                        over a name declared as an unordered container in
+                        the same file.  The concrete hazard the rule above
+                        prevents in the large.
+  raw-entropy           rand()/srand()/random()/drand48()/lrand48()/
+                        std::random_device/std::mt19937 outside des/random.
+                        All randomness must flow through des::Rng, which is
+                        seeded, forkable, and identical across platforms.
+  wall-clock            std::chrono::{system,steady,high_resolution}_clock,
+                        time(...), clock(), gettimeofday, clock_gettime
+                        outside des/time.  Simulated time comes from
+                        des::Scheduler::now(); wall time in a sim path makes
+                        results depend on the machine running them.
+  pointer-order         Ordering or hashing on raw pointer values
+                        (std::map/std::set keyed on T*, std::hash<T*>,
+                        sorting by address).  Addresses vary run to run
+                        (allocator, ASLR); anything ordered by them feeds
+                        nondeterminism into event order.  Key on stable ids.
+  past-schedule         Textually negative schedule targets:
+                        schedule_after(-x) or schedule_at(now() - x).
+                        Scheduling before the current DES clock corrupts the
+                        event order invariant (the runtime assert is the
+                        backstop; this catches it at review time).
+
+Suppression: append `// gtw-lint: allow(<rule>[, <rule>...])` to the
+offending line, or place it alone on the line above.  Allowlist annotations
+are grep-able, so every exception is visible in-diff.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+No dependencies beyond the Python standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+ALLOW_RE = re.compile(r"//\s*gtw-lint:\s*allow\(([^)]*)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+# `std::unordered_map<K, V> name_;` / `> name;` — captures the declared name
+# on single-line member/local declarations so unordered-iter can track it.
+UNORDERED_NAME_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*"
+    r"(\w+)\s*[;={]")
+
+RAW_ENTROPY_RE = re.compile(
+    r"\bstd\s*::\s*random_device\b|\bstd\s*::\s*mt19937(?:_64)?\b"
+    r"|(?<![\w:])(?:rand|srand|random|srandom|drand48|lrand48|rand_r)\s*\(")
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|(?<![\w:])(?:gettimeofday|clock_gettime)\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)"
+    r"|(?<![\w:.])clock\s*\(\s*\)")
+
+POINTER_ORDER_RE = re.compile(
+    r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<\s*[\w:]+(?:\s*<[^<>]*>)?"
+    r"\s*\*"
+    r"|\bstd\s*::\s*hash\s*<\s*[\w:]+(?:\s*<[^<>]*>)?\s*\*\s*>"
+    r"|\bstd\s*::\s*less\s*<\s*[\w:]+(?:\s*<[^<>]*>)?\s*\*\s*>")
+
+PAST_SCHEDULE_RE = re.compile(
+    r"\bschedule_after\s*\(\s*-"
+    r"|\bschedule_at\s*\(\s*(?:[\w.\->]*\s*)?now\s*\(\s*\)\s*-")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings_and_comments(lines: list[str]) -> list[str]:
+    """Blank out string/char literals and comments, preserving line count.
+
+    A lexer-lite: good enough for rule matching (rules never need to see
+    inside literals), and it keeps false positives out of commented-out code
+    and log messages.  Raw strings are handled for the common R"(...)" form.
+    """
+    out = []
+    in_block_comment = False
+    for line in lines:
+        result = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block_comment:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block_comment = False
+                    i = end + 2
+                continue
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                in_block_comment = True
+                i += 2
+                continue
+            if c == 'R' and line.startswith('R"(', i):
+                end = line.find(')"', i + 3)
+                i = n if end == -1 else end + 2
+                continue
+            if c in "\"'":
+                quote = c
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                continue
+            result.append(c)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def collect_allows(lines: list[str]) -> dict[int, set[str]]:
+    """Map line number (1-based) -> set of rules allowed on that line.
+
+    An annotation alone on a line also covers the line directly below it,
+    so it can sit above the construct it excuses.
+    """
+    allows: dict[int, set[str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        allows.setdefault(idx, set()).update(rules)
+        if ALLOW_RE.sub("", line).strip() == "":
+            # Standalone annotation: covers the following line.
+            allows.setdefault(idx + 1, set()).update(rules)
+    return allows
+
+
+def in_module(relpath: str, *parts: str) -> bool:
+    norm = relpath.replace(os.sep, "/")
+    return any(p in norm for p in parts)
+
+
+def check_file(path: str, relpath: str) -> list[Finding]:
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        print(f"gtw-lint: cannot read {path}: {e}", file=sys.stderr)
+        raise
+    allows = collect_allows(raw)
+    code = strip_strings_and_comments(raw)
+    findings: list[Finding] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        if rule in allows.get(lineno, ()):  # suppressed in-diff
+            return
+        findings.append(Finding(relpath, lineno, rule, message))
+
+    # des/random owns entropy; des/time and trace (host-side profiling)
+    # legitimately name clocks.
+    entropy_exempt = in_module(relpath, "des/random")
+    clock_exempt = in_module(relpath, "des/time", "des/random")
+
+    unordered_names: set[str] = set()
+    for lineno, line in enumerate(code, start=1):
+        m = UNORDERED_NAME_RE.search(line)
+        if m:
+            unordered_names.add(m.group(1))
+
+    iter_res = []
+    for name in unordered_names:
+        iter_res.append((re.compile(
+            r"for\s*\([^;)]*:\s*" + re.escape(name) + r"\s*\)"
+            r"|\b" + re.escape(name) + r"\s*\.\s*(?:begin|cbegin|rbegin)\s*\("),
+            name))
+
+    for lineno, line in enumerate(code, start=1):
+        if UNORDERED_DECL_RE.search(line):
+            report(lineno, "unordered-container",
+                   "unordered container in simulator code: iteration order "
+                   "is unspecified and varies run-to-run; use std::map/"
+                   "std::set or a sorted vector (or annotate why ordering "
+                   "can never escape)")
+        for rx, name in iter_res:
+            if rx.search(line):
+                report(lineno, "unordered-iter",
+                       f"iteration over unordered container '{name}': "
+                       "visit order is unspecified and will diverge between "
+                       "runs; sort on a stable key first")
+        if not entropy_exempt and RAW_ENTROPY_RE.search(line):
+            report(lineno, "raw-entropy",
+                   "raw entropy source outside des::random; all simulator "
+                   "randomness must flow through the seeded des::Rng")
+        if not clock_exempt and WALL_CLOCK_RE.search(line):
+            report(lineno, "wall-clock",
+                   "wall-clock time in simulator code; simulated time comes "
+                   "from des::Scheduler::now()")
+        if POINTER_ORDER_RE.search(line):
+            report(lineno, "pointer-order",
+                   "ordering/hashing on raw pointer values: addresses vary "
+                   "run-to-run (allocator, ASLR) and must not feed event "
+                   "order; key on a stable id instead")
+        if PAST_SCHEDULE_RE.search(line):
+            report(lineno, "past-schedule",
+                   "event scheduled before the current DES clock; targets "
+                   "must be >= now()")
+    return findings
+
+
+RULES = [
+    "unordered-container", "unordered-iter", "raw-entropy", "wall-clock",
+    "pointer-order", "past-schedule",
+]
+
+
+def iter_sources(root: str, paths: list[str]) -> list[tuple[str, str]]:
+    found: list[tuple[str, str]] = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            found.append((full, os.path.relpath(full, root)))
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTENSIONS):
+                    fp = os.path.join(dirpath, fn)
+                    found.append((fp, os.path.relpath(fp, root)))
+    return found
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="gtw-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to scan (default: src)")
+    ap.add_argument("--root", default=".",
+                    help="repo root; findings are reported relative to it")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+
+    active = set(RULES)
+    if args.rules:
+        active = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = active - set(RULES)
+        if unknown:
+            print(f"gtw-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or ["src"]
+    sources = iter_sources(root, paths)
+    if not sources:
+        print("gtw-lint: no source files found", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for full, rel in sources:
+        try:
+            findings.extend(f for f in check_file(full, rel)
+                            if f.rule in active)
+        except OSError:
+            return 2
+
+    for f in findings:
+        print(f.render())
+    n = len(findings)
+    print(f"gtw-lint: {len(sources)} file(s) scanned, {n} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-test for gtw-lint: every rule must fire on its known-bad fixture
+and stay silent on clean (and allow-annotated) code.
+
+Runs gtw_lint.py as a subprocess against each fixture in
+tools/lint/fixtures/ and compares the set of (rule, count) findings with
+the expectation table below.  Registered as the `gtw_lint_selftest` ctest.
+
+Exit status: 0 all expectations met, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "gtw_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([\w-]+)\] ")
+
+# fixture (relative to fixtures/) -> {rule: expected finding count}
+EXPECTATIONS = {
+    "bad/unordered_container.cpp": {"unordered-container": 1},
+    "bad/unordered_iter.cpp": {"unordered-container": 1, "unordered-iter": 2},
+    "bad/raw_entropy.cpp": {"raw-entropy": 4},
+    "bad/wall_clock.cpp": {"wall-clock": 3},
+    "bad/pointer_order.cpp": {"pointer-order": 3},
+    "bad/past_schedule.cpp": {"past-schedule": 2},
+    "clean/clean.cpp": {},
+    "clean/allowed.cpp": {},
+}
+
+
+def run_lint(args: list[str]) -> tuple[int, str]:
+    proc = subprocess.run([sys.executable, LINT] + args,
+                          stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+    return proc.returncode, proc.stdout.decode()
+
+
+def findings_by_rule(output: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            counts[m.group(3)] = counts.get(m.group(3), 0) + 1
+    return counts
+
+
+def main() -> int:
+    failures = []
+
+    all_rules = run_lint(["--list-rules"])[1].split()
+    fired: set[str] = set()
+
+    for fixture, expected in sorted(EXPECTATIONS.items()):
+        code, out = run_lint(["--root", FIXTURES, fixture])
+        got = findings_by_rule(out)
+        want_exit = 1 if expected else 0
+        if code != want_exit:
+            failures.append(f"{fixture}: exit {code}, expected {want_exit}")
+        if got != expected:
+            failures.append(f"{fixture}: findings {got}, expected {expected}")
+        fired |= set(got)
+        status = "ok" if got == expected and code == want_exit else "FAIL"
+        print(f"selftest: {status}: {fixture} -> {got or '{}'}")
+
+    # Meta-check: the fixture corpus must exercise every registered rule —
+    # a new rule without a firing fixture is itself a failure.
+    uncovered = set(all_rules) - fired
+    if uncovered:
+        failures.append(f"rules with no firing fixture: {sorted(uncovered)}")
+
+    # --rules filtering must narrow the report.
+    code, out = run_lint(["--root", FIXTURES, "--rules", "unordered-iter",
+                          "bad/unordered_iter.cpp"])
+    got = findings_by_rule(out)
+    if got != {"unordered-iter": 2}:
+        failures.append(f"--rules filter: findings {got}, "
+                        f"expected {{'unordered-iter': 2}}")
+
+    # Unknown rule names must be a hard usage error, not silence.
+    code, _ = run_lint(["--root", FIXTURES, "--rules", "no-such-rule",
+                        "clean/clean.cpp"])
+    if code != 2:
+        failures.append(f"unknown rule: exit {code}, expected 2")
+
+    for f in failures:
+        print(f"selftest: FAIL: {f}")
+    print(f"selftest: {len(EXPECTATIONS)} fixtures, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
