@@ -17,12 +17,13 @@ namespace {
 using namespace gtw;
 
 double throughput(net::Host& a, net::Host& b, testbed::Testbed& tb,
-                  std::uint32_t mtu, std::uint64_t window) {
+                  units::Bytes mtu, units::Bytes window) {
   net::TcpConfig cfg;
-  cfg.mss = mtu - net::kIpHeaderBytes - net::kTcpHeaderBytes;
+  cfg.mss = mtu - units::Bytes{net::kIpHeaderBytes + net::kTcpHeaderBytes};
   cfg.recv_buffer = window;
-  return net::run_bulk_transfer(tb.scheduler(), a, b, 32u << 20, cfg)
-      .goodput_bps;
+  return net::run_bulk_transfer(tb.scheduler(), a, b,
+                                units::Bytes{32u << 20}, cfg)
+      .goodput.bps();
 }
 
 void print_a3() {
@@ -31,7 +32,8 @@ void print_a3() {
   for (std::uint32_t mtu : {1500u, 4352u, 9180u, 32768u, 65280u}) {
     testbed::Testbed tb{testbed::TestbedOptions{}};
     std::printf("%8u | %8.1f Mbit/s\n", mtu,
-                throughput(tb.t3e600(), tb.t3e1200(), tb, mtu, 1u << 20) /
+                throughput(tb.t3e600(), tb.t3e1200(), tb, units::Bytes{mtu},
+                           units::Bytes{1u << 20}) /
                     1e6);
   }
   std::printf("paper: >430 Mbit/s at 64 KB; small MTUs collapse under the "
@@ -42,7 +44,9 @@ void print_a3() {
   for (std::uint32_t mtu : {1500u, 9180u, 65280u}) {
     testbed::Testbed tb{testbed::TestbedOptions{}};
     std::printf("%8u | %8.1f Mbit/s\n", mtu,
-                throughput(tb.t3e600(), tb.sp2(), tb, mtu, 1u << 20) / 1e6);
+                throughput(tb.t3e600(), tb.sp2(), tb, units::Bytes{mtu},
+                           units::Bytes{1u << 20}) /
+                    1e6);
   }
 
   std::printf("\n== A3: socket-buffer sweep, workstation pair across the "
@@ -54,7 +58,8 @@ void print_a3() {
     std::printf("%7llu KB | %8.1f Mbit/s\n",
                 static_cast<unsigned long long>(win >> 10),
                 throughput(tb.onyx2_juelich(), tb.onyx2_gmd(), tb,
-                           tb.options().atm_mtu, win) / 1e6);
+                           tb.options().atm_mtu, units::Bytes{win}) /
+                    1e6);
   }
   std::printf("(window/RTT caps throughput until the window covers the "
               "bandwidth-delay product)\n\n");
@@ -64,7 +69,8 @@ void BM_WanTransfer64kMtu(benchmark::State& state) {
   for (auto _ : state) {
     testbed::Testbed tb{testbed::TestbedOptions{}};
     benchmark::DoNotOptimize(
-        throughput(tb.t3e600(), tb.sp2(), tb, 65280u, 1u << 20));
+        throughput(tb.t3e600(), tb.sp2(), tb, units::Bytes{65280u},
+                   units::Bytes{1u << 20}));
   }
 }
 BENCHMARK(BM_WanTransfer64kMtu)->Unit(benchmark::kMillisecond);

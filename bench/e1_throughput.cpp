@@ -16,11 +16,12 @@ namespace {
 using namespace gtw;
 
 double measure(testbed::Testbed& tb, net::Host& a, net::Host& b,
-               std::uint32_t mtu, std::uint64_t bytes = 48u << 20) {
+               units::Bytes mtu, units::Bytes amount = units::Bytes{48u << 20}) {
   net::TcpConfig cfg;
-  cfg.mss = mtu - net::kIpHeaderBytes - net::kTcpHeaderBytes;
-  cfg.recv_buffer = 1u << 20;
-  return net::run_bulk_transfer(tb.scheduler(), a, b, bytes, cfg).goodput_bps;
+  cfg.mss = mtu - units::Bytes{net::kIpHeaderBytes + net::kTcpHeaderBytes};
+  cfg.recv_buffer = units::Bytes{1u << 20};
+  return net::run_bulk_transfer(tb.scheduler(), a, b, amount, cfg)
+      .goodput.bps();
 }
 
 void print_e1() {
@@ -66,7 +67,7 @@ void print_e1() {
     // error rate into the switch's WAN egress links.
     tb.set_wan_bit_error_rate(ber);
     const double t = measure(tb, tb.onyx2_juelich(), tb.onyx2_gmd(),
-                             tb.options().atm_mtu, 16u << 20);
+                             tb.options().atm_mtu, units::Bytes{16u << 20});
     std::printf("  %-26s: %7.1f Mbit/s\n", label, t / 1e6);
   }
 
@@ -89,7 +90,8 @@ void BM_BulkTransferLocalHippi(benchmark::State& state) {
   for (auto _ : state) {
     testbed::Testbed tb{testbed::TestbedOptions{}};
     benchmark::DoNotOptimize(
-        measure(tb, tb.t3e600(), tb.t3e1200(), net::kMtuHippi, 8u << 20));
+        measure(tb, tb.t3e600(), tb.t3e1200(), net::kMtuHippi,
+                units::Bytes{8u << 20}));
   }
 }
 BENCHMARK(BM_BulkTransferLocalHippi)->Unit(benchmark::kMillisecond);

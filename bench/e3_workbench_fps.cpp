@@ -23,11 +23,12 @@ void print_e3() {
   std::printf("frame: %d x %d x %d planes x %s, %.2f MByte/frame\n",
               fmt.width, fmt.height, fmt.planes,
               fmt.stereo ? "stereo" : "mono",
-              static_cast<double>(fmt.frame_bytes()) / 1e6);
+              static_cast<double>(fmt.frame_bytes().count()) / 1e6);
 
   std::printf("\nclosed-form (fragmentation + LLC/SNAP + AAL5 cell tax):\n");
-  for (double rate : {155.52e6, 622.08e6, 2488.32e6}) {
-    std::printf("  %7.0f Mbit/s link: %5.2f frames/s\n", rate / 1e6,
+  for (units::BitRate rate :
+       {net::kOc3Line, net::kOc12Line, net::kOc48Line}) {
+    std::printf("  %7.0f Mbit/s link: %5.2f frames/s\n", rate.mbps(),
                 viz::classical_ip_fps(fmt, rate));
   }
   std::printf("paper: < 8 frames/s at 622 Mbit/s\n");
@@ -37,8 +38,8 @@ void print_e3() {
   for (auto era : {testbed::WanEra::kOc12_1997, testbed::WanEra::kOc48_1998}) {
     testbed::Testbed tb{testbed::TestbedOptions{era}};
     net::TcpConfig tcp;
-    tcp.mss = tb.options().atm_mtu - 40;
-    tcp.recv_buffer = 1u << 20;
+    tcp.mss = tb.options().atm_mtu - units::Bytes{40};
+    tcp.recv_buffer = units::Bytes{1u << 20};
     viz::FrameStreamer streamer(tb.scheduler(), tb.onyx2_gmd(),
                                 tb.workbench_juelich(), fmt,
                                 viz::RenderModel{}, 40, tcp);
@@ -56,7 +57,7 @@ void print_e3() {
 void BM_ClassicalIpFps(benchmark::State& state) {
   viz::WorkbenchFormat fmt;
   for (auto _ : state)
-    benchmark::DoNotOptimize(viz::classical_ip_fps(fmt, 622.08e6));
+    benchmark::DoNotOptimize(viz::classical_ip_fps(fmt, net::kOc12Line));
 }
 BENCHMARK(BM_ClassicalIpFps);
 

@@ -41,8 +41,8 @@ struct Rig {
     m_t3e = mc.add_machine(t3e);
     m_sp2 = mc.add_machine(sp2);
     net::TcpConfig cfg;
-    cfg.mss = tb.options().atm_mtu - 40;
-    cfg.recv_buffer = 1u << 20;
+    cfg.mss = tb.options().atm_mtu - units::Bytes{40};
+    cfg.recv_buffer = units::Bytes{1u << 20};
     mc.link_machines(m_t3e, m_sp2, cfg, 7000);
   }
 
@@ -153,7 +153,7 @@ void print_e4() {
     tb.scheduler().run();
     const auto rep = session.report();
     std::printf("  %-11s: %5.1f Mbit/s delivered, %3llu/%llu frames lost, "
-                "jitter %.2f ms  [%s]\n", era_name(era), rep.goodput_bps / 1e6,
+                "jitter %.2f ms  [%s]\n", era_name(era), rep.goodput.mbps(),
                 static_cast<unsigned long long>(rep.frames_lost),
                 static_cast<unsigned long long>(rep.frames_sent),
                 rep.jitter_ms, rep.feasible ? "feasible" : "NOT feasible");

@@ -60,10 +60,10 @@ void print_e5() {
     b.start();
     tb.scheduler().run();
     std::printf("  feed Cologne->GMD: %.1f Mbit/s, %s\n",
-                a.report().goodput_bps / 1e6,
+                a.report().goodput.mbps(),
                 a.report().feasible ? "clean" : "LOSSY");
     std::printf("  feed DLR->GMD    : %.1f Mbit/s, %s\n",
-                b.report().goodput_bps / 1e6,
+                b.report().goodput.mbps(),
                 b.report().feasible ? "clean" : "LOSSY");
   }
 
@@ -83,7 +83,7 @@ void print_e5() {
     const int mb = mc.add_machine(bonn);
     const int mg = mc.add_machine(gmd);
     net::TcpConfig tcp;
-    tcp.mss = tb.options().atm_mtu - 40;
+    tcp.mss = tb.options().atm_mtu - units::Bytes{40};
     mc.link_machines(mb, mg, tcp, 7450);
     auto comm = std::make_shared<meta::Communicator>(
         mc, std::vector<meta::ProcLoc>{{mb, 0}, {mg, 0}});
@@ -118,7 +118,7 @@ void print_e5() {
     const int mb = mc.add_machine(bonn);
     const int mg = mc.add_machine(gmd);
     net::TcpConfig tcp;
-    tcp.mss = tb.options().atm_mtu - 40;
+    tcp.mss = tb.options().atm_mtu - units::Bytes{40};
     mc.link_machines(mb, mg, tcp, 7400);
     auto comm = std::make_shared<meta::Communicator>(
         mc, std::vector<meta::ProcLoc>{{mb, 0}, {mg, 0}});

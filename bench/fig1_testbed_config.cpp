@@ -21,7 +21,7 @@ void print_fig1() {
               "==\n");
   std::printf("WAN: Jülich <-> Sankt Augustin, %.0f km, %.2f Gbit/s SDH/ATM "
               "(OC-48)\n\n", tb.options().distance_km,
-              tb.wan_rate_bps() / 1e9);
+              tb.wan_rate().bps() / 1e9);
   std::printf("%-18s | %-14s | %10s\n", "host", "site/fabric",
               "attach rate");
   struct Row {
@@ -37,7 +37,7 @@ void print_fig1() {
       {"onyx2_gmd", "GMD ATM"},       {"e500", "GMD ATM"}};
   for (const Row& r : rows) {
     std::printf("%-18s | %-14s | %7.0f Mbit/s\n", r.name, r.fabric,
-                tb.attachment_rate_bps(r.name) / 1e6);
+                tb.attachment_rate(r.name).bps() / 1e6);
   }
 
   std::printf("\nreachability / one-way small-packet latency audit:\n");

@@ -74,7 +74,7 @@ void print_fig4() {
               "classical IP (paper: the AVS prototype was 'too slow for "
               "interactive manipulations')\n\n",
               render.frame_time(fmt).ms(),
-              viz::classical_ip_fps(fmt, 622.08e6));
+              viz::classical_ip_fps(fmt, net::kOc12Line));
 }
 
 void BM_MergeFunctional(benchmark::State& state) {

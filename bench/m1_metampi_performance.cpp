@@ -36,8 +36,8 @@ struct Rig {
     t3e = mc.add_machine(a);
     sp2 = mc.add_machine(b);
     net::TcpConfig cfg;
-    cfg.mss = tb.options().atm_mtu - 40;
-    cfg.recv_buffer = 1u << 20;
+    cfg.mss = tb.options().atm_mtu - units::Bytes{40};
+    cfg.recv_buffer = units::Bytes{1u << 20};
     mc.link_machines(t3e, sp2, cfg, 7000);
   }
 };

@@ -39,10 +39,10 @@ TcpRow run_tcp(double outage_s) {
                    des::SimTime::seconds(outage_s));
   }
   net::TcpConfig cfg;
-  cfg.recv_buffer = 4u << 20;
+  cfg.recv_buffer = units::Bytes{4u << 20};
   const auto res = net::run_bulk_transfer(tb.scheduler(), tb.gw_o200(),
-                                          tb.gw_e5000(), 128u << 20, cfg);
-  return {res.duration.sec(), res.goodput_bps / 1e6,
+                                          tb.gw_e5000(), units::Bytes{128u << 20}, cfg);
+  return {res.duration.sec(), res.goodput.bps() / 1e6,
           res.sender_stats.retransmits, res.sender_stats.timeouts,
           tb.wan_link_j_to_g().outage_drops()};
 }

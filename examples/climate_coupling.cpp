@@ -29,7 +29,7 @@ int main() {
   const int m_t3e = mc.add_machine(t3e);
   const int m_sp2 = mc.add_machine(sp2);
   net::TcpConfig tcp;
-  tcp.mss = tb.options().atm_mtu - 40;
+  tcp.mss = tb.options().atm_mtu - units::Bytes{40};
   mc.link_machines(m_t3e, m_sp2, tcp, 7000);
 
   auto comm = std::make_shared<meta::Communicator>(

@@ -30,8 +30,8 @@ int main() {
   const int m_t3e = mc.add_machine(t3espec);
 
   net::TcpConfig tcp;
-  tcp.mss = tb.options().atm_mtu - 40;
-  tcp.recv_buffer = 1u << 20;
+  tcp.mss = tb.options().atm_mtu - units::Bytes{40};
+  tcp.recv_buffer = units::Bytes{1u << 20};
   mc.link_machines(m_sp2, m_t3e, tcp, 7000);
 
   auto comm = std::make_shared<meta::Communicator>(

@@ -83,7 +83,7 @@ int main() {
   viz::WorkbenchFormat fmt;
   std::printf("workbench: %.1f MB/frame -> %.2f frames/s over 622 Mbit/s "
               "classical IP (paper: < 8)\n",
-              static_cast<double>(fmt.frame_bytes()) / 1e6,
-              viz::classical_ip_fps(fmt, 622.08e6));
+              static_cast<double>(fmt.frame_bytes().count()) / 1e6,
+              viz::classical_ip_fps(fmt, net::kOc12Line));
   return 0;
 }

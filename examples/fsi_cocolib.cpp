@@ -30,7 +30,7 @@ int main() {
   const int mf = mc.add_machine(f);
   const int ms = mc.add_machine(s);
   net::TcpConfig tcp;
-  tcp.mss = tb.options().atm_mtu - 40;
+  tcp.mss = tb.options().atm_mtu - units::Bytes{40};
   mc.link_machines(mf, ms, tcp, 7000);
   auto comm = std::make_shared<meta::Communicator>(
       mc, std::vector<meta::ProcLoc>{{mf, 0}, {ms, 0}});

@@ -40,7 +40,7 @@ int main() {
   const int ma = mc.add_machine(a);
   const int mb = mc.add_machine(b);
   net::TcpConfig tcp;
-  tcp.mss = tb.options().atm_mtu - 40;
+  tcp.mss = tb.options().atm_mtu - units::Bytes{40};
   mc.link_machines(ma, mb, tcp, 7000);
 
   auto comm = std::make_shared<meta::Communicator>(

@@ -27,7 +27,7 @@ int main() {
     tb.scheduler().run();
     const auto rep = session.report();
     std::printf("%s: %6.1f Mbit/s delivered | %3llu/%llu frames lost | "
-                "jitter %5.2f ms | %s\n", name, rep.goodput_bps / 1e6,
+                "jitter %5.2f ms | %s\n", name, rep.goodput.mbps(),
                 static_cast<unsigned long long>(rep.frames_lost),
                 static_cast<unsigned long long>(rep.frames_sent),
                 rep.jitter_ms, rep.feasible ? "broadcast quality" : "unusable");

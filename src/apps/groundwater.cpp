@@ -245,7 +245,8 @@ void GroundwaterCoupling::coupling_step(int step) {
   comm_->recv(1, 0, /*tag=*/step, [this, step, &sched](const meta::Message& msg) {
     transfer_accum_s_ += (sched.now() - send_started_).sec();
     if (trace_ != nullptr) {
-      trace_->recv(1, 0, static_cast<std::uint32_t>(step), msg.bytes,
+      trace_->recv(1, 0, static_cast<std::uint32_t>(step),
+                   units::Bytes{msg.bytes},
                    sched.now());
       trace_->enter(1, st_advect_, sched.now());
     }
@@ -264,7 +265,8 @@ void GroundwaterCoupling::coupling_step(int step) {
   sched.schedule_after(timing_.solve_per_step, [this, step, &sched]() {
     if (trace_ != nullptr) {
       trace_->leave(0, st_solve_, sched.now());
-      trace_->send(0, 1, static_cast<std::uint32_t>(step), field_->bytes(),
+      trace_->send(0, 1, static_cast<std::uint32_t>(step),
+                   units::Bytes{field_->bytes()},
                    sched.now());
     }
     send_started_ = sched.now();

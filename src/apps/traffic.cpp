@@ -136,7 +136,7 @@ DistributedTrafficViz::DistributedTrafficViz(net::Host& sim_host,
   graph_.add_stage(flow::datagram_transfer_stage(
       "publish", tx_, viz_id_, port_,
       [this](const flow::Item&) {
-        return static_cast<std::uint32_t>(result_.frame_bytes);
+        return units::Bytes{result_.frame_bytes};
       },
       /*number_frames=*/false));
 }

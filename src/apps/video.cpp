@@ -31,12 +31,11 @@ D1VideoReport D1VideoSession::report() const {
   rep.frames_lost = rep.frames_sent >= rep.frames_received
                         ? rep.frames_sent - rep.frames_received
                         : 0;
-  rep.offered_bps = interval_ > des::SimTime::zero()
-                        ? static_cast<double>(cfg_.frame_bytes()) * 8.0 /
-                              interval_.sec()
-                        : 0.0;
+  rep.offered = interval_ > des::SimTime::zero()
+                    ? units::per(cfg_.frame_bytes().to_bits(), interval_)
+                    : units::BitRate::bps(0.0);
   const des::SimTime span = sched_.now() - started_;
-  rep.goodput_bps = sink_.goodput_bps(span);
+  rep.goodput = sink_.goodput(span);
   rep.jitter_ms = sink_.interarrival_ms().stddev();
   rep.feasible = rep.frames_sent > 0 &&
                  rep.frames_received * 100 >= rep.frames_sent * 99;

@@ -15,12 +15,12 @@
 namespace gtw::apps {
 
 struct D1VideoConfig {
-  double rate_bps = 270e6;  // uncompressed D1 (ITU-R BT.601)
+  units::BitRate rate = units::BitRate::mbps(270.0);  // uncompressed D1
   double fps = 25.0;        // PAL frame cadence
   int frames = 250;         // 10 seconds by default
 
-  std::uint32_t frame_bytes() const {
-    return static_cast<std::uint32_t>(rate_bps / fps / 8.0);
+  units::Bytes frame_bytes() const {
+    return units::Bytes{static_cast<std::uint32_t>(rate.bps() / fps / 8.0)};
   }
 };
 
@@ -28,8 +28,8 @@ struct D1VideoReport {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t frames_lost = 0;
-  double offered_bps = 0.0;
-  double goodput_bps = 0.0;
+  units::BitRate offered;
+  units::BitRate goodput;
   double jitter_ms = 0.0;   // stddev of frame inter-arrival
   bool feasible = false;    // delivered >= 99% of frames at cadence
 };

@@ -9,47 +9,53 @@ MachineProfile MachineProfile::t3e600() {
   // 512-node Cray T3E-600 in Jülich (300 MHz Alpha 21164).  The effective
   // per-PE rate is calibrated against Table 1 of the paper (RVO at 1 PE =
   // 109.27 s for the work estimate of a 64x64x16 image).
-  return MachineProfile{"Cray T3E-600", 512, 46e6,
-                        des::SimTime::microseconds(8), 300e6,
+  return MachineProfile{"Cray T3E-600", 512, units::OpRate::per_sec(46e6),
+                        des::SimTime::microseconds(8),
+                        units::ByteRate::per_sec(300e6),
                         des::SimTime::microseconds(60),
                         des::SimTime::microseconds(150)};
 }
 
 MachineProfile MachineProfile::t3e1200() {
   // The 1998 upgrade machine: 600 MHz PEs, faster links.
-  return MachineProfile{"Cray T3E-1200", 512, 92e6,
-                        des::SimTime::microseconds(6), 350e6,
+  return MachineProfile{"Cray T3E-1200", 512, units::OpRate::per_sec(92e6),
+                        des::SimTime::microseconds(6),
+                        units::ByteRate::per_sec(350e6),
                         des::SimTime::microseconds(50),
                         des::SimTime::microseconds(100)};
 }
 
 MachineProfile MachineProfile::t90() {
   // 10-processor vector machine: few, very fast PEs, flat shared memory.
-  return MachineProfile{"Cray T90", 10, 450e6,
-                        des::SimTime::microseconds(2), 1200e6,
+  return MachineProfile{"Cray T90", 10, units::OpRate::per_sec(450e6),
+                        des::SimTime::microseconds(2),
+                        units::ByteRate::per_sec(1200e6),
                         des::SimTime::microseconds(20)};
 }
 
 MachineProfile MachineProfile::sp2() {
   // IBM SP2 in Sankt Augustin; microchannel I/O limits its network path
   // (modelled at the Host level), compute per node is P2SC-class.
-  return MachineProfile{"IBM SP2", 64, 60e6,
-                        des::SimTime::microseconds(30), 40e6,
+  return MachineProfile{"IBM SP2", 64, units::OpRate::per_sec(60e6),
+                        des::SimTime::microseconds(30),
+                        units::ByteRate::per_sec(40e6),
                         des::SimTime::microseconds(80),
                         des::SimTime::microseconds(250)};
 }
 
 MachineProfile MachineProfile::onyx2() {
   // 12-processor SGI Onyx 2 visualization server at the GMD.
-  return MachineProfile{"SGI Onyx 2", 12, 80e6,
-                        des::SimTime::microseconds(3), 600e6,
+  return MachineProfile{"SGI Onyx 2", 12, units::OpRate::per_sec(80e6),
+                        des::SimTime::microseconds(3),
+                        units::ByteRate::per_sec(600e6),
                         des::SimTime::microseconds(30)};
 }
 
 MachineProfile MachineProfile::workstation() {
   // Single-CPU UNIX workstation (the RT-client host).
-  return MachineProfile{"workstation", 1, 55e6,
-                        des::SimTime::microseconds(1), 100e6,
+  return MachineProfile{"workstation", 1, units::OpRate::per_sec(55e6),
+                        des::SimTime::microseconds(1),
+                        units::ByteRate::per_sec(100e6),
                         des::SimTime::zero()};
 }
 
@@ -70,16 +76,16 @@ des::SimTime time_on(const MachineProfile& m, const WorkEstimate& work,
       ? std::min(pes, work.max_parallelism)
       : pes;
   const double compute_s =
-      work.parallel_ops / (m.pe_ops_per_s * static_cast<double>(eff)) +
-      work.serial_ops / m.pe_ops_per_s;
+      work.parallel_ops / (m.pe_rate * static_cast<double>(eff)) +
+      work.serial_ops / m.pe_rate;
 
   des::SimTime comm = des::SimTime::zero();
   if (pes > 1) {
     comm += m.per_pe_overhead * pes;
     // Halo exchange: latency per message + bytes at link bandwidth.
     comm += m.msg_latency * work.halo_exchanges;
-    comm += des::transmission_time(work.halo_bytes,
-                                   m.link_bandwidth_Bps * 8.0);
+    comm += units::transmission_time(work.halo_bytes,
+                                     m.link_bandwidth.to_bit_rate());
     // Tree reductions: ceil(log2 P) latency steps each.
     const int depth =
         static_cast<int>(std::ceil(std::log2(static_cast<double>(pes))));

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "des/time.hpp"
+#include "units/units.hpp"
 
 namespace gtw::exec {
 
@@ -23,10 +24,13 @@ struct MachineProfile {
   int max_pes = 1;
   // Effective sustained rate per PE on this kind of code (not peak flops:
   // the paper's kernels are memory-bound; T3E-600 sustained ~46 Mop/s).
-  double pe_ops_per_s = 46e6;
-  // Interconnect: per-message latency and per-PE link bandwidth.
+  units::OpRate pe_rate = units::OpRate::per_sec(46e6);
+  // Interconnect: per-message latency and per-PE link bandwidth.  The link
+  // bandwidth is a memory-system figure and therefore a *byte* rate — the
+  // type is what keeps it from ever being mistaken for the bit rates the
+  // net layer speaks (the old field was named link_bandwidth_Bps).
   des::SimTime msg_latency = des::SimTime::microseconds(10);
-  double link_bandwidth_Bps = 300e6;
+  units::ByteRate link_bandwidth = units::ByteRate::per_sec(300e6);
   // Fixed per-parallel-region overhead (work distribution, barrier entry).
   des::SimTime region_overhead = des::SimTime::microseconds(50);
   // Per-participating-PE coordination cost (work descriptors and result
@@ -45,9 +49,9 @@ struct MachineProfile {
 
 // Work content of one parallel kernel invocation.
 struct WorkEstimate {
-  double parallel_ops = 0.0;   // perfectly decomposable operations
-  double serial_ops = 0.0;     // non-decomposable (parameter solve, control)
-  std::uint64_t halo_bytes = 0;  // bytes exchanged with neighbours per PE
+  units::Ops parallel_ops;     // perfectly decomposable operations
+  units::Ops serial_ops;       // non-decomposable (parameter solve, control)
+  units::Bytes halo_bytes;     // bytes exchanged with neighbours per PE
   int halo_exchanges = 0;        // messages per PE per invocation
   int reductions = 0;            // global tree reductions per invocation
   // Decomposition granularity: slab-decomposed kernels (the spatial filters

@@ -24,7 +24,7 @@ FmriPipeline::FmriPipeline(des::Scheduler& sched, Hosts hosts,
       engine_(engine), graph_(sched, graph_config(cfg)) {
   records_.resize(static_cast<std::size_t>(cfg_.n_scans));
   net::TcpConfig tcp;
-  tcp.recv_buffer = 4u << 20;
+  tcp.recv_buffer = units::Bytes{4u << 20};
   if (cfg_.site == ProcessingSite::kRemoteT3e) {
     to_compute_ = std::make_unique<net::TcpConnection>(
         *hosts_.scanner_frontend, *hosts_.compute_frontend, 6000, 6001, tcp);

@@ -23,6 +23,7 @@
 #include "flow/graph.hpp"
 #include "net/host.hpp"
 #include "net/tcp.hpp"
+#include "units/units.hpp"
 
 namespace gtw::fire {
 
@@ -60,8 +61,8 @@ struct PipelineConfig {
   des::SimTime client_display = des::SimTime::seconds(0.6);
   des::SimTime rpc_overhead = des::SimTime::seconds(0.9);
 
-  std::uint64_t image_bytes = 64 * 64 * 16 * 2;    // raw 16-bit voxels
-  std::uint64_t result_bytes = 2 * 64 * 64 * 16 * 2;  // anat + functional
+  units::Bytes image_bytes{64 * 64 * 16 * 2};       // raw 16-bit voxels
+  units::Bytes result_bytes{2 * 64 * 64 * 16 * 2};  // anat + functional
 };
 
 struct ScanRecord {

@@ -30,19 +30,21 @@ FireWork make_fire_work(const FireWorkParams& p) {
   // Spatial filters: slice-wise median (9-gather + selection) before the
   // pipeline and 3x3x3 averaging after it; slab decomposition over z.
   w.filter.parallel_ops =
-      voxels * (kMedianOpsPerVoxel + kAverageOpsPerVoxel);
+      units::Ops{voxels * (kMedianOpsPerVoxel + kAverageOpsPerVoxel)};
   w.filter.max_parallelism = p.dims.nz;
-  w.filter.halo_bytes = 2 * face_bytes;
+  w.filter.halo_bytes = units::Bytes{2 * face_bytes};
   w.filter.halo_exchanges = 4;
 
   // Motion correction: per Gauss-Newton iteration a trilinear warp,
   // gradients and the J^T J accumulation over the slab; the 6x6 solve,
   // transform bookkeeping and convergence control are serial on PE0.
   w.motion.parallel_ops =
-      voxels * kMotionOpsPerVoxelIter * p.motion_iterations;
-  w.motion.serial_ops = 12.0e6;  // solves + image-wide bookkeeping, measured
+      units::Ops{voxels * kMotionOpsPerVoxelIter * p.motion_iterations};
+  w.motion.serial_ops = units::Ops{12.0e6};  // solves + image-wide bookkeeping, measured
   w.motion.max_parallelism = p.dims.nz;
-  w.motion.halo_bytes = 2 * face_bytes * static_cast<std::uint64_t>(p.motion_iterations);
+  w.motion.halo_bytes =
+      units::Bytes{2 * face_bytes *
+                   static_cast<std::uint64_t>(p.motion_iterations)};
   w.motion.halo_exchanges = 2 * p.motion_iterations;
   w.motion.reductions = p.motion_iterations;  // J^T J / J^T r global sums
 
@@ -50,15 +52,15 @@ FireWork make_fire_work(const FireWorkParams& p) {
   // (kRvoOpsPerSample multiply-adds per sample); voxel decomposition, so it
   // keeps scaling beyond the slice count.  Building the candidate reference
   // bank and assembling result maps is serial.
-  w.rvo.parallel_ops = voxels * p.rvo_grid_points * p.scans_window *
-                       kRvoOpsPerSample;
-  w.rvo.serial_ops = 5.5e6;
+  w.rvo.parallel_ops = units::Ops{voxels * p.rvo_grid_points *
+                                  p.scans_window * kRvoOpsPerSample};
+  w.rvo.serial_ops = units::Ops{5.5e6};
   w.rvo.reductions = 1;
 
   // Incremental correlation and detrending per scan (cheap, voxel-level).
-  w.correlation.parallel_ops = voxels * kCorrelationOpsPerVoxelScan;
-  w.detrend.parallel_ops = voxels * kDetrendOpsPerVoxelScanPerBasis *
-                           p.detrend_basis;
+  w.correlation.parallel_ops = units::Ops{voxels * kCorrelationOpsPerVoxelScan};
+  w.detrend.parallel_ops = units::Ops{voxels * kDetrendOpsPerVoxelScanPerBasis *
+                                      p.detrend_basis};
   return w;
 }
 

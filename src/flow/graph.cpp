@@ -7,14 +7,14 @@ des::Scheduler& StageContext::scheduler() const { return graph->sched_; }
 des::SimTime StageContext::now() const { return graph->sched_.now(); }
 
 void StageContext::trace_send(int to_stage, std::uint32_t tag,
-                              std::uint64_t bytes) const {
+                              units::Bytes bytes) const {
   graph->tracer_.send(static_cast<std::uint32_t>(stage),
                       static_cast<std::uint32_t>(to_stage), tag, bytes,
                       graph->sched_.now());
 }
 
 void StageContext::trace_recv(int at_stage, std::uint32_t tag,
-                              std::uint64_t bytes) const {
+                              units::Bytes bytes) const {
   graph->tracer_.recv(static_cast<std::uint32_t>(at_stage),
                       static_cast<std::uint32_t>(stage), tag, bytes,
                       graph->sched_.now());

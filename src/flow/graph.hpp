@@ -59,8 +59,8 @@ struct StageContext {
   // Record a message from this stage to `to_stage` (kSend at this rank) or
   // its receipt at `at_stage` coming from this rank (kRecv).  No-ops while
   // no recorder is attached.
-  void trace_send(int to_stage, std::uint32_t tag, std::uint64_t bytes) const;
-  void trace_recv(int at_stage, std::uint32_t tag, std::uint64_t bytes) const;
+  void trace_send(int to_stage, std::uint32_t tag, units::Bytes bytes) const;
+  void trace_recv(int at_stage, std::uint32_t tag, units::Bytes bytes) const;
 };
 
 using StageFn = std::function<void(StageContext, Item&, Done)>;

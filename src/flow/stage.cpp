@@ -41,14 +41,14 @@ StageConfig inline_stage(std::string name,
 
 StageConfig tcp_transfer_stage(std::string name, net::TcpConnection& conn,
                                int side,
-                               std::function<std::uint64_t(const Item&)> bytes,
+                               std::function<units::Bytes(const Item&)> bytes,
                                int concurrency) {
   StageConfig cfg;
   cfg.name = std::move(name);
   cfg.concurrency = concurrency;
   cfg.body = [&conn, side, bytes = std::move(bytes)](StageContext ctx,
                                                      Item& it, Done done) {
-    const std::uint64_t n = bytes ? bytes(it) : 0;
+    const units::Bytes n = bytes ? bytes(it) : units::Bytes::zero();
     const auto tag = static_cast<std::uint32_t>(it.index);
     ctx.trace_send(ctx.stage + 1, tag, n);
     conn.send(side, n, {},
@@ -63,14 +63,14 @@ StageConfig tcp_transfer_stage(std::string name, net::TcpConnection& conn,
 
 StageConfig datagram_transfer_stage(
     std::string name, net::DatagramSocket& socket, net::HostId dst,
-    std::uint16_t dst_port, std::function<std::uint32_t(const Item&)> bytes,
+    std::uint16_t dst_port, std::function<units::Bytes(const Item&)> bytes,
     bool number_frames, int concurrency) {
   StageConfig cfg;
   cfg.name = std::move(name);
   cfg.concurrency = concurrency;
   cfg.body = [&socket, dst, dst_port, bytes = std::move(bytes),
               number_frames](StageContext ctx, Item& it, Done done) {
-    const std::uint32_t n = bytes ? bytes(it) : 0;
+    const units::Bytes n = bytes ? bytes(it) : units::Bytes::zero();
     ctx.trace_send(ctx.stage + 1, static_cast<std::uint32_t>(it.index), n);
     socket.send_to(dst, dst_port, n,
                    number_frames

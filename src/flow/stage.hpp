@@ -10,6 +10,7 @@
 #include "flow/graph.hpp"
 #include "net/datagram.hpp"
 #include "net/tcp.hpp"
+#include "units/units.hpp"
 
 namespace gtw::flow {
 
@@ -31,7 +32,7 @@ StageConfig inline_stage(std::string name,
 // Emits trace send on departure and recv on arrival, tagged by item index.
 StageConfig tcp_transfer_stage(std::string name, net::TcpConnection& conn,
                                int side,
-                               std::function<std::uint64_t(const Item&)> bytes,
+                               std::function<units::Bytes(const Item&)> bytes,
                                int concurrency = 1);
 
 // Fire-and-forget datagram send; completes immediately (loss shows up at
@@ -39,7 +40,7 @@ StageConfig tcp_transfer_stage(std::string name, net::TcpConnection& conn,
 // along as the CBR sequence number.
 StageConfig datagram_transfer_stage(
     std::string name, net::DatagramSocket& socket, net::HostId dst,
-    std::uint16_t dst_port, std::function<std::uint32_t(const Item&)> bytes,
+    std::uint16_t dst_port, std::function<units::Bytes(const Item&)> bytes,
     bool number_frames = true, int concurrency = 0);
 
 // Pushes `count` items into a graph at a fixed interval.  With

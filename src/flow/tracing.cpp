@@ -24,12 +24,12 @@ void Tracer::leave(std::uint32_t rank, std::uint32_t state, des::SimTime t) {
 }
 
 void Tracer::send(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
-                  std::uint64_t bytes, des::SimTime t) {
+                  units::Bytes bytes, des::SimTime t) {
   if (rec_ != nullptr) rec_->send(rank, peer, tag, bytes, t);
 }
 
 void Tracer::recv(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
-                  std::uint64_t bytes, des::SimTime t) {
+                  units::Bytes bytes, des::SimTime t) {
   if (rec_ != nullptr) rec_->recv(rank, peer, tag, bytes, t);
 }
 

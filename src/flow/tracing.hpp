@@ -11,6 +11,7 @@
 #include <string>
 
 #include "des/time.hpp"
+#include "units/units.hpp"
 #include "trace/trace.hpp"
 
 namespace gtw::flow {
@@ -31,9 +32,9 @@ class Tracer {
   void enter(std::uint32_t rank, std::uint32_t state, des::SimTime t);
   void leave(std::uint32_t rank, std::uint32_t state, des::SimTime t);
   void send(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
-            std::uint64_t bytes, des::SimTime t);
+            units::Bytes bytes, des::SimTime t);
   void recv(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
-            std::uint64_t bytes, des::SimTime t);
+            units::Bytes bytes, des::SimTime t);
 
  private:
   trace::TraceRecorder* rec_ = nullptr;

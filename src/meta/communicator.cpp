@@ -38,12 +38,12 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
   bytes_sent_ += bytes;
   tracer_.send(static_cast<std::uint32_t>(src_rank),
                static_cast<std::uint32_t>(dst_rank),
-               static_cast<std::uint32_t>(tag), bytes,
+               static_cast<std::uint32_t>(tag), units::Bytes{bytes},
                mc_->scheduler().now());
 
   Message msg{src_rank, tag, bytes, std::move(data)};
   if (src.machine == dst.machine) {
-    const des::SimTime cost = mc_->intra_cost(src.machine, bytes);
+    const des::SimTime cost = mc_->intra_cost(src.machine, units::Bytes{bytes});
     mc_->scheduler().schedule_after(
         cost, [this, dst_rank, msg = std::move(msg)]() mutable {
           deliver(dst_rank, std::move(msg));
@@ -59,7 +59,7 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
     st->next_timeout = retry_.timeout;
     wan_attempt(std::move(st));
   } else {
-    mc_->wan_send(src.machine, dst.machine, bytes,
+    mc_->wan_send(src.machine, dst.machine, units::Bytes{bytes},
                   [this, dst_rank, msg = std::move(msg)]() mutable {
                     deliver(dst_rank, std::move(msg));
                   });
@@ -69,7 +69,8 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
 
 void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
   ++st->attempts;
-  mc_->wan_send(st->src_machine, st->dst_machine, st->bytes, [this, st]() {
+  mc_->wan_send(st->src_machine, st->dst_machine, units::Bytes{st->bytes},
+                [this, st]() {
     if (st->delivered) {
       // An earlier attempt's bytes finally made it through after a retry
       // was already issued (the simulated TCP is reliable, just late).
@@ -120,7 +121,7 @@ void Communicator::recv(int rank, int source, int tag, RecvCallback cb) {
 void Communicator::deliver(int dst_rank, Message msg) {
   tracer_.recv(static_cast<std::uint32_t>(dst_rank),
                static_cast<std::uint32_t>(msg.source),
-               static_cast<std::uint32_t>(msg.tag), msg.bytes,
+               static_cast<std::uint32_t>(msg.tag), units::Bytes{msg.bytes},
                mc_->scheduler().now());
   RankState& st = states_.at(static_cast<std::size_t>(dst_rank));
   for (auto it = st.recvs.begin(); it != st.recvs.end(); ++it) {
@@ -143,7 +144,8 @@ des::SimTime Communicator::intra_tree_cost(std::uint64_t bytes) const {
     const int depth = count > 1
         ? static_cast<int>(std::ceil(std::log2(static_cast<double>(count))))
         : 0;
-    const des::SimTime cost = mc_->intra_cost(machine, bytes) * depth;
+    const des::SimTime cost =
+        mc_->intra_cost(machine, units::Bytes{bytes}) * depth;
     worst = std::max(worst, cost);
   }
   return worst;
@@ -193,7 +195,7 @@ void Communicator::finish_collective(std::uint64_t key, const char* name,
     *pending_in = static_cast<int>(machines.size()) - 1;
     for (int m : machines) {
       if (m == root_machine) continue;
-      mc_->wan_send(m, root_machine, wan_bytes,
+      mc_->wan_send(m, root_machine, units::Bytes{wan_bytes},
                     [this, machines, root_machine, wan_bytes, pending_in,
                      pending_out, final_stage]() {
         if (--*pending_in > 0) return;
@@ -201,7 +203,7 @@ void Communicator::finish_collective(std::uint64_t key, const char* name,
         *pending_out = static_cast<int>(machines.size()) - 1;
         for (int m2 : machines) {
           if (m2 == root_machine) continue;
-          mc_->wan_send(root_machine, m2, wan_bytes,
+          mc_->wan_send(root_machine, m2, units::Bytes{wan_bytes},
                         [pending_out, final_stage]() {
                           if (--*pending_out == 0) final_stage();
                         });

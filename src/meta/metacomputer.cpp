@@ -43,7 +43,7 @@ bool Metacomputer::linked(int ma, int mb) const {
 }
 
 void Metacomputer::wan_send(int from_machine, int to_machine,
-                            std::uint64_t bytes,
+                            units::Bytes amount,
                             std::function<void()> on_delivered) {
   const auto key = std::minmax(from_machine, to_machine);
   auto it = wan_.find({key.first, key.second});
@@ -52,19 +52,19 @@ void Metacomputer::wan_send(int from_machine, int to_machine,
   const int side = from_machine == key.first ? it->second.side_of_lo
                                              : 1 - it->second.side_of_lo;
   ++wan_messages_;
-  wan_bytes_ += bytes + kMetaHeaderBytes;
+  wan_bytes_ += amount.count() + kMetaHeaderBytes;
   it->second.conn->send(
-      side, bytes + kMetaHeaderBytes, {},
+      side, amount + units::Bytes{kMetaHeaderBytes}, {},
       [cb = std::move(on_delivered)](const std::any&, des::SimTime) {
         if (cb) cb();
       });
 }
 
 des::SimTime Metacomputer::intra_cost(int machine_id,
-                                      std::uint64_t bytes) const {
+                                      units::Bytes amount) const {
   const MachineSpec& m = machines_.at(static_cast<std::size_t>(machine_id));
   return m.intra_latency +
-         des::transmission_time(bytes, m.intra_bandwidth_bps);
+         units::transmission_time(amount, m.intra_bandwidth);
 }
 
 }  // namespace gtw::meta

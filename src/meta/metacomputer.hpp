@@ -21,6 +21,7 @@
 #include "des/scheduler.hpp"
 #include "net/host.hpp"
 #include "net/tcp.hpp"
+#include "units/units.hpp"
 
 namespace gtw::meta {
 
@@ -30,7 +31,7 @@ struct MachineSpec {
   int max_pes = 1;
   // Interconnect model (e.g. T3E torus: ~1 us latency, ~350 MB/s per link).
   des::SimTime intra_latency = des::SimTime::microseconds(1);
-  double intra_bandwidth_bps = 350e6 * 8;
+  units::BitRate intra_bandwidth = units::ByteRate::per_sec(350e6).to_bit_rate();
   // Front-end host attached to the simulated testbed; nullptr for a machine
   // used standalone (all communication intra-machine).
   net::Host* frontend = nullptr;
@@ -62,17 +63,17 @@ class Metacomputer {
   void link_machines(int ma, int mb, net::TcpConfig cfg,
                      std::uint16_t port_base);
 
-  // Send `bytes` of application data between machines over the router
+  // Send `amount` of application data between machines over the router
   // connection; `on_delivered` fires at the receiving front-end's time.
   // Falls back to an error if the machines were never linked.
-  void wan_send(int from_machine, int to_machine, std::uint64_t bytes,
+  void wan_send(int from_machine, int to_machine, units::Bytes amount,
                 std::function<void()> on_delivered);
 
   bool linked(int ma, int mb) const;
   des::Scheduler& scheduler() { return sched_; }
 
-  // Time for an intra-machine message of `bytes` between two PEs.
-  des::SimTime intra_cost(int machine_id, std::uint64_t bytes) const;
+  // Time for an intra-machine message of `amount` between two PEs.
+  des::SimTime intra_cost(int machine_id, units::Bytes amount) const;
 
   std::uint64_t wan_messages() const { return wan_messages_; }
   std::uint64_t wan_bytes() const { return wan_bytes_; }

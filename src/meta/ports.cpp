@@ -54,12 +54,13 @@ void PortRegistry::rendezvous(const std::string&, Pending acceptor,
     ccb(for_connector);
   };
   if (ma == mb || !mc.linked(ma, mb)) {
-    mc.scheduler().schedule_after(mc.intra_cost(ma, kMetaHeaderBytes),
+    mc.scheduler().schedule_after(mc.intra_cost(ma, units::Bytes{kMetaHeaderBytes}),
                                   std::move(finish));
     return;
   }
-  mc.wan_send(mb, ma, kMetaHeaderBytes, [&mc, ma, mb, finish]() {
-    mc.wan_send(ma, mb, kMetaHeaderBytes, finish);
+  mc.wan_send(mb, ma, units::Bytes{kMetaHeaderBytes},
+              [&mc, ma, mb, finish]() {
+    mc.wan_send(ma, mb, units::Bytes{kMetaHeaderBytes}, finish);
   });
 }
 

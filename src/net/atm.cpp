@@ -44,14 +44,14 @@ void AtmSwitch::on_frame(int port, Frame f) {
 }
 
 AtmNic::AtmNic(des::Scheduler& sched, Host& owner, std::string name,
-               Link::Config uplink_cfg, std::uint32_t mtu)
+               Link::Config uplink_cfg, units::Bytes mtu)
     : Nic(owner, std::move(name), mtu), sched_(sched),
       uplink_(sched, name_ + ".up", uplink_cfg) {}
 
-void AtmNic::shape_vc(HostId next_hop, double rate_bps) {
+void AtmNic::shape_vc(HostId next_hop, units::BitRate rate) {
   auto it = vc_map_.find(next_hop);
   if (it == vc_map_.end()) return;
-  shapers_[it->second] = Shaper{rate_bps, sched_.now()};
+  shapers_[it->second] = Shaper{rate, sched_.now()};
 }
 
 void AtmNic::transmit(IpPacket pkt, HostId next_hop) {
@@ -75,7 +75,7 @@ void AtmNic::transmit(IpPacket pkt, HostId next_hop) {
   Shaper& shaper = sh->second;
   const des::SimTime release = std::max(sched_.now(), shaper.next_free);
   shaper.next_free =
-      release + des::transmission_time(f.wire_bytes, shaper.rate_bps);
+      release + units::transmission_time(units::Bytes{f.wire_bytes}, shaper.rate);
   if (release <= sched_.now()) {
     uplink_.submit(std::move(f));
   } else {

@@ -64,7 +64,7 @@ class AtmSwitch {
 class AtmNic : public Nic {
  public:
   AtmNic(des::Scheduler& sched, Host& owner, std::string name,
-         Link::Config uplink_cfg, std::uint32_t mtu = kMtuAtmDefault);
+         Link::Config uplink_cfg, units::Bytes mtu = kMtuAtmDefault);
 
   void transmit(IpPacket pkt, HostId next_hop) override;
 
@@ -73,16 +73,16 @@ class AtmNic : public Nic {
   Link& uplink() { return uplink_; }         // egress toward the fabric
   void map_vc(HostId next_hop, std::uint32_t vc) { vc_map_[next_hop] = vc; }
 
-  // CBR traffic shaping: pace the VC toward `next_hop` to `rate_bps` so it
+  // CBR traffic shaping: pace the VC toward `next_hop` to `rate` so it
   // never exceeds its contract — how an ATM network protects a video
   // stream from best-effort cross traffic (and the switches from it).
-  void shape_vc(HostId next_hop, double rate_bps);
+  void shape_vc(HostId next_hop, units::BitRate rate);
 
   std::uint64_t no_vc_drops() const { return no_vc_; }
 
  private:
   struct Shaper {
-    double rate_bps = 0.0;
+    units::BitRate rate;
     des::SimTime next_free;
   };
 

@@ -12,13 +12,14 @@ DatagramSocket::DatagramSocket(Host& host, std::uint16_t port)
 DatagramSocket::~DatagramSocket() { host_.unbind(IpProto::kUdp, port_); }
 
 void DatagramSocket::send_to(HostId dst, std::uint16_t dst_port,
-                             std::uint32_t payload_bytes, std::any body) {
+                             units::Bytes payload, std::any body) {
   IpPacket pkt;
   pkt.dst = dst;
   pkt.proto = IpProto::kUdp;
   pkt.src_port = port_;
   pkt.dst_port = dst_port;
-  pkt.total_bytes = payload_bytes + kIpHeaderBytes + kUdpHeaderBytes;
+  pkt.total_bytes = static_cast<std::uint32_t>(payload.count()) +
+                    kIpHeaderBytes + kUdpHeaderBytes;
   if (body.has_value())
     pkt.payload = std::make_shared<const std::any>(std::move(body));
   host_.send_datagram(std::move(pkt));
@@ -44,9 +45,9 @@ void CbrSource::tick() {
                                                      [this]() { tick(); });
 }
 
-double CbrSource::offered_rate_bps() const {
-  if (cfg_.interval <= des::SimTime::zero()) return 0.0;
-  return static_cast<double>(cfg_.frame_bytes) * 8.0 / cfg_.interval.sec();
+units::BitRate CbrSource::offered_rate() const {
+  if (cfg_.interval <= des::SimTime::zero()) return units::BitRate::bps(0.0);
+  return units::per(cfg_.frame_bytes.to_bits(), cfg_.interval);
 }
 
 CbrSink::CbrSink(Host& host, std::uint16_t port) : socket_(host, port) {
@@ -71,9 +72,9 @@ std::uint64_t CbrSink::frames_lost() const {
   return expected > received_ ? expected - received_ : 0;
 }
 
-double CbrSink::goodput_bps(des::SimTime window) const {
-  if (window <= des::SimTime::zero()) return 0.0;
-  return static_cast<double>(bytes_) * 8.0 / window.sec();
+units::BitRate CbrSink::goodput(des::SimTime window) const {
+  if (window <= des::SimTime::zero()) return units::BitRate::bps(0.0);
+  return units::per(units::Bytes{bytes_}.to_bits(), window);
 }
 
 }  // namespace gtw::net

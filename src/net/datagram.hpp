@@ -27,9 +27,9 @@ class DatagramSocket {
   DatagramSocket& operator=(const DatagramSocket&) = delete;
 
   void on_receive(Handler h) { handler_ = std::move(h); }
-  // Send `payload_bytes` of application data (plus UDP/IP headers) to the
-  // peer, optionally carrying an opaque body.
-  void send_to(HostId dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
+  // Send `payload` of application data (plus UDP/IP headers) to the peer,
+  // optionally carrying an opaque body.
+  void send_to(HostId dst, std::uint16_t dst_port, units::Bytes payload,
                std::any body = {});
 
   Host& host() { return host_; }
@@ -45,7 +45,7 @@ class DatagramSocket {
 class CbrSource {
  public:
   struct Config {
-    std::uint32_t frame_bytes = 0;     // application bytes per frame
+    units::Bytes frame_bytes;          // application bytes per frame
     des::SimTime interval;             // frame cadence
     std::uint64_t frame_count = 0;     // 0 = unbounded
   };
@@ -55,7 +55,7 @@ class CbrSource {
   void start();
   void stop();
   std::uint64_t frames_sent() const { return sent_; }
-  double offered_rate_bps() const;
+  units::BitRate offered_rate() const;
 
  private:
   void tick();
@@ -76,8 +76,8 @@ class CbrSink {
 
   std::uint64_t frames_received() const { return received_; }
   std::uint64_t frames_lost() const;
-  std::uint64_t bytes_received() const { return bytes_; }
-  double goodput_bps(des::SimTime window) const;
+  units::Bytes bytes_received() const { return units::Bytes{bytes_}; }
+  units::BitRate goodput(des::SimTime window) const;
   const des::RunningStats& interarrival_ms() const { return interarrival_; }
 
  private:

@@ -51,15 +51,15 @@ void FaultPlan::host_outage(Host& host, des::SimTime at,
 
 void FaultPlan::buffer_squeeze(Link& link, des::SimTime at,
                                des::SimTime duration,
-                               std::uint64_t queue_limit_bytes) {
+                               units::Bytes queue_limit) {
   auto s = std::make_shared<Scripted>();
   s->ev = FaultEvent{FaultEvent::Kind::kBufferSqueeze, link.name(), at,
                      duration};
-  s->ev.queue_limit = queue_limit_bytes;
-  auto prior = std::make_shared<std::uint64_t>(0);
-  s->apply = [&link, queue_limit_bytes, prior]() {
-    *prior = link.config().queue_limit_bytes;
-    link.set_queue_limit(queue_limit_bytes);
+  s->ev.queue_limit = queue_limit;
+  auto prior = std::make_shared<units::Bytes>();
+  s->apply = [&link, queue_limit, prior]() {
+    *prior = link.config().queue_limit;
+    link.set_queue_limit(queue_limit);
   };
   s->revert = [&link, prior]() { link.set_queue_limit(*prior); };
   arm(std::move(s));

@@ -20,6 +20,7 @@
 #include "des/scheduler.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
+#include "units/units.hpp"
 
 namespace gtw::net {
 
@@ -30,7 +31,7 @@ struct FaultEvent {
   des::SimTime at;
   des::SimTime duration;
   double ber = 0.0;                // kBerBurst
-  std::uint64_t queue_limit = 0;   // kBufferSqueeze
+  units::Bytes queue_limit;        // kBufferSqueeze
 };
 
 const char* to_string(FaultEvent::Kind kind);
@@ -56,10 +57,10 @@ class FaultPlan {
                  double ber);
   // Take `host` down (gateway crash) for `duration`.
   void host_outage(Host& host, des::SimTime at, des::SimTime duration);
-  // Shrink `link`'s queue to `queue_limit_bytes` for `duration`; the limit
-  // in effect when the squeeze starts is restored afterwards.
+  // Shrink `link`'s queue to `queue_limit` for `duration`; the limit in
+  // effect when the squeeze starts is restored afterwards.
   void buffer_squeeze(Link& link, des::SimTime at, des::SimTime duration,
-                      std::uint64_t queue_limit_bytes);
+                      units::Bytes queue_limit);
 
   std::size_t scheduled() const { return events_.size(); }
   int active_faults() const { return active_; }

@@ -41,11 +41,11 @@ void HippiSwitch::on_frame(Frame f) {
 }
 
 HippiNic::HippiNic(des::Scheduler& sched, Host& owner, std::string name,
-                   des::SimTime propagation, std::uint32_t mtu,
+                   des::SimTime propagation, units::Bytes mtu,
                    des::SimTime connect_overhead)
     : Nic(owner, std::move(name), mtu),
       uplink_(sched, name_ + ".up",
-              Link::Config{kHippiRate, propagation, 4u << 20,
+              Link::Config{kHippiRate, propagation, units::Bytes{4u << 20},
                            connect_overhead}) {}
 
 void HippiNic::transmit(IpPacket pkt, HostId next_hop) {

@@ -56,7 +56,7 @@ class HippiNic : public Nic {
  public:
   HippiNic(des::Scheduler& sched, Host& owner, std::string name,
            des::SimTime propagation = des::SimTime::nanoseconds(200),
-           std::uint32_t mtu = kMtuHippi,
+           units::Bytes mtu = kMtuHippi,
            des::SimTime connect_overhead = des::SimTime::microseconds(2));
 
   void transmit(IpPacket pkt, HostId next_hop) override;

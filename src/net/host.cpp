@@ -27,9 +27,9 @@ const Host::Route* Host::lookup(HostId dst) const {
   return nullptr;
 }
 
-std::uint32_t Host::route_mtu(HostId dst) const {
+units::Bytes Host::route_mtu(HostId dst) const {
   const Route* r = lookup(dst);
-  return r != nullptr ? r->nic->mtu() : 0;
+  return r != nullptr ? r->nic->mtu() : units::Bytes::zero();
 }
 
 des::SimTime Host::send_cost(const IpPacket& pkt) const {
@@ -58,7 +58,8 @@ void Host::send_datagram(IpPacket pkt) {
   if (pkt.datagram_id == 0)
     pkt.datagram_id = static_cast<std::uint32_t>(next_datagram_id());
 
-  const std::uint32_t mtu = route->nic->mtu();
+  const std::uint32_t mtu =
+      static_cast<std::uint32_t>(route->nic->mtu().count());
   if (pkt.total_bytes <= mtu) {
     pkt.id = ++next_packet_id_;
     emit(std::move(pkt), *route);

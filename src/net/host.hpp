@@ -18,6 +18,7 @@
 #include "des/scheduler.hpp"
 #include "net/cpu.hpp"
 #include "net/packet.hpp"
+#include "units/units.hpp"
 
 namespace gtw::net {
 
@@ -26,7 +27,7 @@ class Host;
 // Attachment point of a host to some L2 technology (ATM, HiPPI).
 class Nic {
  public:
-  Nic(Host& owner, std::string name, std::uint32_t mtu)
+  Nic(Host& owner, std::string name, units::Bytes mtu)
       : owner_(&owner), name_(std::move(name)), mtu_(mtu) {}
   virtual ~Nic() = default;
 
@@ -34,14 +35,14 @@ class Nic {
   // destination when directly attached).
   virtual void transmit(IpPacket pkt, HostId next_hop) = 0;
 
-  std::uint32_t mtu() const { return mtu_; }
+  units::Bytes mtu() const { return mtu_; }
   const std::string& name() const { return name_; }
   Host& owner() { return *owner_; }
 
  protected:
   Host* owner_;
   std::string name_;
-  std::uint32_t mtu_;
+  units::Bytes mtu_;
 };
 
 // Per-host protocol-stack cost model.
@@ -69,7 +70,7 @@ class Host {
   void add_route(HostId dst, Nic* nic, HostId next_hop);
   void set_default_route(Nic* nic, HostId next_hop);
   // MTU of the NIC a packet to `dst` would leave through (0 if unroutable).
-  std::uint32_t route_mtu(HostId dst) const;
+  units::Bytes route_mtu(HostId dst) const;
 
   void set_forwarding(bool on) { forwarding_ = on; }
 

@@ -9,7 +9,7 @@ namespace gtw::net {
 Link::Link(des::Scheduler& sched, std::string name, Config cfg)
     : sched_(sched), name_(std::move(name)), cfg_(cfg),
       created_at_(sched.now()) {
-  assert(cfg_.rate_bps > 0.0);
+  assert(cfg_.rate.bps() > 0.0);
 }
 
 void Link::set_up(bool up) {
@@ -35,7 +35,7 @@ bool Link::submit(Frame f) {
     outage_dropped_bytes_ += f.wire_bytes;
     return false;
   }
-  if (queued_bytes_ + f.wire_bytes > cfg_.queue_limit_bytes) {
+  if (units::Bytes{queued_bytes_ + f.wire_bytes} > cfg_.queue_limit) {
     ++drops_;
     dropped_bytes_ += f.wire_bytes;
     return false;
@@ -54,7 +54,7 @@ void Link::maybe_start() {
   queue_.pop_front();
 
   const des::SimTime tx =
-      des::transmission_time(f.wire_bytes, cfg_.rate_bps) +
+      units::transmission_time(units::Bytes{f.wire_bytes}, cfg_.rate) +
       cfg_.per_frame_overhead;
   busy_accum_ += tx;
   sched_.schedule_after(tx, [this, f = std::move(f)]() mutable {

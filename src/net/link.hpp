@@ -15,6 +15,7 @@
 #include "des/scheduler.hpp"
 #include "des/stats.hpp"
 #include "net/packet.hpp"
+#include "units/units.hpp"
 
 namespace gtw::net {
 
@@ -30,9 +31,9 @@ using FrameSink = std::function<void(Frame)>;
 class Link {
  public:
   struct Config {
-    double rate_bps = 0.0;                     // usable L2 line rate
+    units::BitRate rate;                       // usable L2 line rate
     des::SimTime propagation = des::SimTime::zero();
-    std::uint64_t queue_limit_bytes = 1 << 20; // wire bytes admitted to queue
+    units::Bytes queue_limit{1 << 20};         // wire bytes admitted to queue
     des::SimTime per_frame_overhead = des::SimTime::zero();  // e.g. HiPPI connect
     // Residual bit error rate.  The testbed's OC-48 line initially showed
     // "stability problems ... related to signal attenuation and timing"
@@ -59,7 +60,7 @@ class Link {
   // Shrink (or restore) the queue at runtime — a switch-buffer squeeze.
   // Already-queued frames are kept even if they exceed the new limit; the
   // limit gates admissions only.
-  void set_queue_limit(std::uint64_t bytes) { cfg_.queue_limit_bytes = bytes; }
+  void set_queue_limit(units::Bytes limit) { cfg_.queue_limit = limit; }
 
   // Enqueue a frame; returns false (and counts a drop) on overflow.
   bool submit(Frame f);

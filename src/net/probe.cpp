@@ -22,10 +22,11 @@ EchoResponder::EchoResponder(Host& host, std::uint16_t port)
 EchoResponder::~EchoResponder() { host_.unbind(IpProto::kUdp, port_); }
 
 Pinger::Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
-               std::uint32_t payload_bytes, des::SimTime interval)
+               units::Bytes payload, des::SimTime interval)
     : src_(src), dst_(dst), dst_port_(dst_port),
       src_port_(static_cast<std::uint16_t>(40000 + dst_port)), count_(count),
-      payload_(payload_bytes), interval_(interval) {}
+      payload_(static_cast<std::uint32_t>(payload.count())),
+      interval_(interval) {}
 
 Pinger::~Pinger() {
   src_.unbind(IpProto::kUdp, src_port_);

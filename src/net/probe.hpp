@@ -10,6 +10,7 @@
 
 #include "des/stats.hpp"
 #include "net/host.hpp"
+#include "units/units.hpp"
 
 namespace gtw::net {
 
@@ -37,13 +38,13 @@ struct PingReport {
   des::RunningStats rtt_ms;
 };
 
-// Sends `count` probes of `payload_bytes` from `src` to the EchoResponder
+// Sends `count` probes of `payload` bytes from `src` to the EchoResponder
 // on (`dst`, `dst_port`), one every `interval`; `done` fires after the
 // last reply arrives or a per-probe timeout of 1 s passes.
 class Pinger {
  public:
   Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
-         std::uint32_t payload_bytes = 56,
+         units::Bytes payload = units::Bytes{56},
          des::SimTime interval = des::SimTime::milliseconds(10));
   ~Pinger();
   Pinger(const Pinger&) = delete;

@@ -25,8 +25,9 @@ TcpConnection::TcpConnection(Host& a, Host& b, std::uint16_t port_a,
   ep_[1].local_port = port_b;
   ep_[1].remote_port = port_a;
   for (int s = 0; s < 2; ++s) {
-    ep_[s].cwnd = static_cast<double>(cfg_.initial_cwnd_segments) * cfg_.mss;
-    ep_[s].ssthresh = static_cast<double>(cfg_.recv_buffer);
+    ep_[s].cwnd = static_cast<double>(cfg_.initial_cwnd_segments) *
+                  static_cast<double>(cfg_.mss.count());
+    ep_[s].ssthresh = static_cast<double>(cfg_.recv_buffer.count());
     ep_[s].rto = cfg_.initial_rto;
     ep_[s].host->bind(IpProto::kTcp, ep_[s].local_port,
                       [this, s](const IpPacket& pkt) { on_packet(s, pkt); });
@@ -41,12 +42,12 @@ TcpConnection::~TcpConnection() {
   }
 }
 
-void TcpConnection::send(int side, std::uint64_t bytes, std::any data,
+void TcpConnection::send(int side, units::Bytes amount, std::any data,
                          DeliveryCallback on_delivered) {
   assert(side == 0 || side == 1);
   Endpoint& e = ep_[side];
-  e.snd_end += bytes;
-  e.stats.bytes_queued += bytes;
+  e.snd_end += amount.count();
+  e.stats.bytes_queued += amount.count();
   e.messages.push_back(Message{e.snd_end, std::move(data),
                                std::move(on_delivered)});
   try_send(side);
@@ -58,14 +59,16 @@ std::uint64_t TcpConnection::window_bytes(const Endpoint& e,
   // bytes parked out of order awaiting a hole fill (in-order data is
   // consumed by the application immediately in this model).
   const std::uint64_t buffered = ooo_bytes(peer);
+  const std::uint64_t recv_buffer = cfg_.recv_buffer.count();
   const std::uint64_t advertised =
-      cfg_.recv_buffer > buffered ? cfg_.recv_buffer - buffered : 0;
+      recv_buffer > buffered ? recv_buffer - buffered : 0;
   const auto cwnd = static_cast<std::uint64_t>(e.cwnd);
   return std::min<std::uint64_t>(cwnd, advertised);
 }
 
 void TcpConnection::try_send(int side) {
   Endpoint& e = ep_[side];
+  const std::uint64_t mss = cfg_.mss.count();
   const std::uint64_t window = window_bytes(e, ep_[1 - side]);
   while (e.snd_nxt < e.snd_end) {
     const std::uint64_t inflight = e.snd_nxt - e.snd_una;
@@ -74,9 +77,9 @@ void TcpConnection::try_send(int side) {
     // out-of-order backlog is waiting on, so it always fits the peer's
     // buffer.  Letting it through keeps recovery alive even when the
     // backlog has collapsed the advertised window below one MSS.
-    if (room < cfg_.mss && e.snd_nxt == e.snd_una) room = cfg_.mss;
+    if (room < mss && e.snd_nxt == e.snd_una) room = mss;
     const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        {cfg_.mss, e.snd_end - e.snd_nxt, room}));
+        {mss, e.snd_end - e.snd_nxt, room}));
     if (len == 0) break;
     // Anything below the high-water mark has been on the wire before
     // (go-back-N after a timeout), so it counts as a retransmission and is
@@ -124,9 +127,10 @@ void TcpConnection::on_rto(int side) {
   if (e.snd_una >= e.snd_end && e.snd_una == e.snd_nxt) return;  // all done
   ++e.stats.timeouts;
   // Multiplicative decrease and go-back-N.
+  const double mss = static_cast<double>(cfg_.mss.count());
   const double flight = static_cast<double>(e.snd_nxt - e.snd_una);
-  e.ssthresh = std::max(flight / 2.0, 2.0 * cfg_.mss);
-  e.cwnd = cfg_.mss;
+  e.ssthresh = std::max(flight / 2.0, 2.0 * mss);
+  e.cwnd = mss;
   e.dupacks = 0;
   e.timing = false;  // Karn: discard the timed sample
   e.snd_nxt = e.snd_una;
@@ -174,7 +178,7 @@ void TcpConnection::process_data(int side, const SegMeta& m) {
     // beyond the receive buffer was never admissible under the advertised
     // window (a well-behaved sender cannot reach it; a buggy one gets it
     // discarded), which bounds the out-of-order list.
-    const std::uint64_t limit = e.rcv_nxt + cfg_.recv_buffer;
+    const std::uint64_t limit = e.rcv_nxt + cfg_.recv_buffer.count();
     const std::uint64_t stash_end = std::min(seg_end, limit);
     if (m.seq < limit) {
       auto pos = std::lower_bound(
@@ -258,10 +262,11 @@ void TcpConnection::process_ack(int side, const SegMeta& m) {
       e.rto = std::max(cfg_.min_rto, des::SimTime::seconds(rto_s));
     }
     // Congestion window growth.
+    const double mss = static_cast<double>(cfg_.mss.count());
     if (e.cwnd < e.ssthresh) {
-      e.cwnd += cfg_.mss;  // slow start: +MSS per ACK
+      e.cwnd += mss;  // slow start: +MSS per ACK
     } else {
-      e.cwnd += static_cast<double>(cfg_.mss) * cfg_.mss / e.cwnd;
+      e.cwnd += mss * mss / e.cwnd;
     }
     e.stats.cwnd_bytes = e.cwnd;
     e.stats.srtt_ms = e.srtt_s * 1e3;
@@ -279,11 +284,12 @@ void TcpConnection::process_ack(int side, const SegMeta& m) {
       // Fast retransmit + multiplicative decrease.
       ++e.stats.fast_retransmits;
       const double flight = static_cast<double>(e.snd_nxt - e.snd_una);
-      e.ssthresh = std::max(flight / 2.0, 2.0 * cfg_.mss);
+      e.ssthresh =
+          std::max(flight / 2.0, 2.0 * static_cast<double>(cfg_.mss.count()));
       e.cwnd = e.ssthresh;
       e.timing = false;
       const std::uint32_t len = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(cfg_.mss, e.snd_end - e.snd_una));
+          std::min<std::uint64_t>(cfg_.mss.count(), e.snd_end - e.snd_una));
       if (len > 0) send_segment(side, e.snd_una, len, /*retransmit=*/true);
     }
   }
@@ -312,14 +318,14 @@ std::uint64_t TcpConnection::bytes_received(int side) const {
 }
 
 BulkTransferResult run_bulk_transfer(des::Scheduler& sched, Host& a, Host& b,
-                                     std::uint64_t bytes, TcpConfig cfg,
+                                     units::Bytes amount, TcpConfig cfg,
                                      std::uint16_t port_base) {
   TcpConnection conn(a, b, port_base, static_cast<std::uint16_t>(port_base + 1),
                      cfg);
   const des::SimTime start = sched.now();
   des::SimTime done = start;
   bool finished = false;
-  conn.send(0, bytes, {}, [&](const std::any&, des::SimTime when) {
+  conn.send(0, amount, {}, [&](const std::any&, des::SimTime when) {
     done = when;
     finished = true;
   });
@@ -328,7 +334,8 @@ BulkTransferResult run_bulk_transfer(des::Scheduler& sched, Host& a, Host& b,
   out.sender_stats = conn.stats(0);
   if (finished && done > start) {
     out.duration = done - start;
-    out.goodput_bps = static_cast<double>(bytes) * 8.0 / out.duration.sec();
+    out.goodput = units::BitRate::bps(static_cast<double>(amount.count()) *
+                                      8.0 / out.duration.sec());
   }
   return out;
 }

@@ -23,8 +23,9 @@
 namespace gtw::net {
 
 struct TcpConfig {
-  std::uint32_t mss = kMtuAtmDefault - kIpHeaderBytes - kTcpHeaderBytes;
-  std::uint64_t recv_buffer = 1u << 20;  // advertised window, bytes
+  units::Bytes mss =
+      kMtuAtmDefault - units::Bytes{kIpHeaderBytes + kTcpHeaderBytes};
+  units::Bytes recv_buffer{1u << 20};  // advertised window
   std::uint32_t initial_cwnd_segments = 2;
   des::SimTime min_rto = des::SimTime::milliseconds(200);
   des::SimTime initial_rto = des::SimTime::milliseconds(1000);
@@ -47,9 +48,9 @@ class TcpConnection {
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  // Queue `bytes` of application data on side `side`; `on_delivered` fires
+  // Queue `amount` of application data on side `side`; `on_delivered` fires
   // (at the receiver's simulated time) once the peer holds every byte.
-  void send(int side, std::uint64_t bytes, std::any data = {},
+  void send(int side, units::Bytes amount, std::any data = {},
             DeliveryCallback on_delivered = nullptr);
 
   struct Stats {
@@ -138,16 +139,16 @@ class TcpConnection {
   Endpoint ep_[2];
 };
 
-// Convenience for benchmarks: transfer `bytes` from `a` to `b` on a fresh
-// connection and return the achieved application goodput in bit/s, running
-// the scheduler until completion.
+// Convenience for benchmarks: transfer `amount` from `a` to `b` on a fresh
+// connection and return the achieved application goodput, running the
+// scheduler until completion.
 struct BulkTransferResult {
-  double goodput_bps = 0.0;
+  units::BitRate goodput;
   des::SimTime duration;
   TcpConnection::Stats sender_stats;
 };
 BulkTransferResult run_bulk_transfer(des::Scheduler& sched, Host& a, Host& b,
-                                     std::uint64_t bytes, TcpConfig cfg,
+                                     units::Bytes amount, TcpConfig cfg,
                                      std::uint16_t port_base = 5000);
 
 }  // namespace gtw::net

@@ -1,26 +1,31 @@
-// Rate and size units for the network substrate.  Rates are plain doubles in
-// bits per second; the named constants below match the technologies deployed
-// in the Gigabit Testbed West (HPDC'99 paper, section 2).
+// Rate and size constants for the network substrate, expressed in the
+// strong unit types from units/units.hpp.  The named constants match the
+// technologies deployed in the Gigabit Testbed West (HPDC'99 paper,
+// section 2): line rates are units::BitRate, sizes are units::Bytes, and
+// AAL5 cell packing is available both raw (for in-packet uint32 math) and
+// typed (units::Bytes -> units::Cells).
 #pragma once
 
 #include <cstdint>
 
-namespace gtw::net {
+#include "units/units.hpp"
 
-constexpr double kKbit = 1e3;
-constexpr double kMbit = 1e6;
-constexpr double kGbit = 1e9;
+namespace gtw::net {
 
 // SDH/SONET line rates and their usable payload after section/path overhead.
 // STM-1 carries 149.76 Mbit/s of payload in a 155.52 Mbit/s line; the ratio
 // (~0.963) is the same for the concatenated higher rates used in the testbed.
 constexpr double kSdhPayloadFraction = 149.76 / 155.52;
 
-constexpr double kOc3Line = 155.52 * kMbit;    // STM-1  (B-WiN access, SP2 nodes)
-constexpr double kOc12Line = 622.08 * kMbit;   // STM-4  (testbed 1997, host NICs)
-constexpr double kOc48Line = 2488.32 * kMbit;  // STM-16 (testbed since Aug 1998)
+constexpr units::BitRate kOc3Line =
+    units::BitRate::mbps(155.52);  // STM-1  (B-WiN access, SP2 nodes)
+constexpr units::BitRate kOc12Line =
+    units::BitRate::mbps(622.08);  // STM-4  (testbed 1997, host NICs)
+constexpr units::BitRate kOc48Line =
+    units::BitRate::mbps(2488.32);  // STM-16 (testbed since Aug 1998)
 
-constexpr double kHippiRate = 800 * kMbit;     // HiPPI channel peak
+constexpr units::BitRate kHippiRate =
+    units::BitRate::mbps(800.0);  // HiPPI channel peak
 
 // ATM constants.
 constexpr std::uint32_t kAtmCellBytes = 53;
@@ -35,10 +40,10 @@ constexpr std::uint32_t kUdpHeaderBytes = 8;
 constexpr std::uint32_t kLlcSnapBytes = 8;
 
 // Default MTUs.
-constexpr std::uint32_t kMtuEthernet = 1500;
-constexpr std::uint32_t kMtuAtmDefault = 9180;   // RFC 1577 default
-constexpr std::uint32_t kMtuAtmFore = 65535;     // Fore adapters: 64 KByte MTU
-constexpr std::uint32_t kMtuHippi = 65280;       // HiPPI-LE style large MTU
+constexpr units::Bytes kMtuEthernet{1500};
+constexpr units::Bytes kMtuAtmDefault{9180};  // RFC 1577 default
+constexpr units::Bytes kMtuAtmFore{65535};    // Fore adapters: 64 KByte MTU
+constexpr units::Bytes kMtuHippi{65280};      // HiPPI-LE style large MTU
 
 // Speed of light in fibre: ~5 us per km.
 constexpr double kFiberDelaySecPerKm = 5e-6;
@@ -46,13 +51,60 @@ constexpr double kFiberDelaySecPerKm = 5e-6;
 // Number of ATM cells needed for an AAL5 PDU of `pdu_bytes` (payload +
 // LLC/SNAP already included by the caller); the 8-byte AAL5 trailer must fit
 // in the last cell, with zero padding up to a cell boundary.
+// gtw-lint: allow(unitless-size-param)
 constexpr std::uint32_t aal5_cells(std::uint32_t pdu_bytes) {
   return (pdu_bytes + kAal5TrailerBytes + kAtmCellPayload - 1) / kAtmCellPayload;
 }
 
 // Bytes actually on the wire for an AAL5 PDU (cell tax included).
+// gtw-lint: allow(unitless-size-param)
 constexpr std::uint32_t aal5_wire_bytes(std::uint32_t pdu_bytes) {
   return aal5_cells(pdu_bytes) * kAtmCellBytes;
 }
+
+// Typed cell packing: the preferred entry points for new code.
+constexpr units::Cells aal5_cells(units::Bytes pdu) {
+  return units::Cells{aal5_cells(static_cast<std::uint32_t>(pdu.count()))};
+}
+constexpr units::Bytes aal5_wire_bytes(units::Bytes pdu) {
+  return units::Bytes{aal5_wire_bytes(static_cast<std::uint32_t>(pdu.count()))};
+}
+
+// ---------------------------------------------------------------------------
+// Deprecation shim — ONE PR ONLY.
+//
+// The constants above used to be plain doubles / uint32_t; out-of-tree code
+// following older DESIGN.md snippets can qualify with net::legacy:: to keep
+// compiling while it migrates to the typed constants.  This namespace is
+// removed in the next PR.
+// ---------------------------------------------------------------------------
+namespace legacy {
+
+[[deprecated("multiply via units::BitRate::kbps() instead")]]  //
+constexpr double kKbit = 1e3;
+[[deprecated("multiply via units::BitRate::mbps() instead")]]  //
+constexpr double kMbit = 1e6;
+[[deprecated("multiply via units::BitRate::gbps() instead")]]  //
+constexpr double kGbit = 1e9;
+
+[[deprecated("use net::kOc3Line (units::BitRate)")]]  //
+constexpr double kOc3Line = 155.52 * 1e6;  // gtw-lint: allow(raw-rate-double)
+[[deprecated("use net::kOc12Line (units::BitRate)")]]  //
+constexpr double kOc12Line = 622.08 * 1e6;  // gtw-lint: allow(raw-rate-double)
+[[deprecated("use net::kOc48Line (units::BitRate)")]]  //
+constexpr double kOc48Line = 2488.32 * 1e6;  // gtw-lint: allow(raw-rate-double)
+[[deprecated("use net::kHippiRate (units::BitRate)")]]  //
+constexpr double kHippiRate = 800.0 * 1e6;  // gtw-lint: allow(raw-rate-double)
+
+[[deprecated("use net::kMtuEthernet (units::Bytes)")]]  //
+constexpr std::uint32_t kMtuEthernet = 1500;
+[[deprecated("use net::kMtuAtmDefault (units::Bytes)")]]  //
+constexpr std::uint32_t kMtuAtmDefault = 9180;
+[[deprecated("use net::kMtuAtmFore (units::Bytes)")]]  //
+constexpr std::uint32_t kMtuAtmFore = 65535;
+[[deprecated("use net::kMtuHippi (units::Bytes)")]]  //
+constexpr std::uint32_t kMtuHippi = 65280;
+
+}  // namespace legacy
 
 }  // namespace gtw::net

@@ -25,16 +25,16 @@ ExtendedTestbed::ExtendedTestbed(TestbedOptions opts) : Testbed(opts) {
 }
 
 net::Host* ExtendedTestbed::add_site(const std::string& host_name,
-                                     double link_rate_bps,
-                                     double host_rate_bps,
+                                     units::BitRate link_rate,
+                                     units::BitRate host_rate,
                                      std::unique_ptr<net::AtmSwitch>& sw_out) {
   sw_out = std::make_unique<net::AtmSwitch>(sched_, "asx-" + host_name);
   net::AtmSwitch& sw = *sw_out;
   net::AtmSwitch& gmd = atm_gmd();
 
   // Site <-> GMD trunk.
-  const double usable = link_rate_bps * net::kSdhPayloadFraction;
-  net::Link::Config trunk{usable, kSiteProp, opts_.switch_buffer_bytes,
+  const units::BitRate usable = link_rate * net::kSdhPayloadFraction;
+  net::Link::Config trunk{usable, kSiteProp, opts_.switch_buffer,
                           des::SimTime::zero()};
   const int port_site_to_gmd = sw.add_port(trunk);
   const int port_gmd_to_site = gmd.add_port(trunk);
@@ -46,7 +46,7 @@ net::Host* ExtendedTestbed::add_site(const std::string& host_name,
   // Snapshot of the attachments present *before* this host joins (the VC
   // loop below pairs the new host with each of them).
   const std::vector<AtmAttachment> peers = atm_attached_;
-  net::AtmNic* nic = attach_atm(*host, sw, host_rate_bps);
+  net::AtmNic* nic = attach_atm(*host, sw, host_rate);
   const int host_port = atm_attached_.back().port;
 
   // VCs from the new host to every previously attached ATM host.
@@ -85,7 +85,7 @@ net::Host* ExtendedTestbed::add_site(const std::string& host_name,
   host->add_route(t90().id(), nic, gw_o200().id());
   host->add_route(sp2().id(), nic, gw_e5000().id());
 
-  attach_rate_[host_name] = host_rate_bps;
+  attach_rate_[host_name] = host_rate;
   return host;
 }
 

@@ -31,11 +31,11 @@ class ExtendedTestbed : public Testbed {
   net::AtmSwitch& atm_bonn() { return *sw_bonn_; }
 
  private:
-  // Attach one new site: a switch linked to the GMD switch at `rate_bps`,
+  // Attach one new site: a switch linked to the GMD switch at `link_rate`,
   // one host on it, fully routed and VC-provisioned against every ATM host
   // of the base testbed.
-  net::Host* add_site(const std::string& host_name, double link_rate_bps,
-                      double host_rate_bps,
+  net::Host* add_site(const std::string& host_name, units::BitRate link_rate,
+                      units::BitRate host_rate,
                       std::unique_ptr<net::AtmSwitch>& sw_out);
 
   std::unique_ptr<net::AtmSwitch> sw_dlr_, sw_cologne_, sw_bonn_;

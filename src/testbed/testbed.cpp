@@ -37,7 +37,7 @@ constexpr des::SimTime kLocalProp = des::SimTime::microseconds(1);
 
 }  // namespace
 
-double Testbed::wan_rate_bps() const {
+units::BitRate Testbed::wan_rate() const {
   switch (opts_.era) {
     case WanEra::kBWin155:
       return net::kOc3Line * net::kSdhPayloadFraction;
@@ -46,7 +46,7 @@ double Testbed::wan_rate_bps() const {
     case WanEra::kOc48_1998:
       return net::kOc48Line * net::kSdhPayloadFraction;
   }
-  return 0.0;
+  return units::BitRate::bps(0.0);
 }
 
 net::Host* Testbed::add_host(const std::string& name, net::HostCosts costs) {
@@ -58,9 +58,9 @@ net::Host* Testbed::add_host(const std::string& name, net::HostCosts costs) {
 }
 
 net::AtmNic* Testbed::attach_atm(net::Host& h, net::AtmSwitch& sw,
-                                 double rate_bps) {
-  const double usable = rate_bps * net::kSdhPayloadFraction;
-  net::Link::Config link{usable, kLocalProp, opts_.switch_buffer_bytes,
+                                 units::BitRate rate) {
+  const units::BitRate usable = rate * net::kSdhPayloadFraction;
+  net::Link::Config link{usable, kLocalProp, opts_.switch_buffer,
                          des::SimTime::zero()};
   atm_nics_.push_back(std::make_unique<net::AtmNic>(
       sched_, h, h.name() + ".atm", link, opts_.atm_mtu));
@@ -69,7 +69,7 @@ net::AtmNic* Testbed::attach_atm(net::Host& h, net::AtmSwitch& sw,
   nic->uplink().set_sink(sw.ingress(port));
   sw.connect_egress(port, nic->ingress());
   atm_attached_.push_back({nic, &sw, port, &sw == atm_j_.get()});
-  attach_rate_[h.name()] = rate_bps;
+  attach_rate_[h.name()] = rate;
   return nic;
 }
 
@@ -99,8 +99,8 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
   // --- WAN: two ASX-4000s joined by the SDH line --------------------------
   const des::SimTime wan_prop =
       des::SimTime::seconds(opts_.distance_km * net::kFiberDelaySecPerKm);
-  net::Link::Config wan_link{wan_rate_bps(), wan_prop,
-                             opts_.switch_buffer_bytes, des::SimTime::zero()};
+  net::Link::Config wan_link{wan_rate(), wan_prop,
+                             opts_.switch_buffer, des::SimTime::zero()};
   wan_port_j_ = atm_j_->add_port(wan_link);
   wan_port_g_ = atm_g_->add_port(wan_link);
   atm_j_->connect_egress(wan_port_j_, atm_g_->ingress(wan_port_g_));
@@ -121,8 +121,8 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts) {
     hippi_nics_.push_back(
         std::make_unique<net::HippiNic>(sched_, h, h.name() + ".hippi"));
     net::HippiNic* nic = hippi_nics_.back().get();
-    net::Link::Config port_cfg{net::kHippiRate, kLocalProp, 4u << 20,
-                               des::SimTime::zero()};
+    net::Link::Config port_cfg{net::kHippiRate, kLocalProp,
+                               units::Bytes{4u << 20}, des::SimTime::zero()};
     const int port = hippi_j_->add_port(port_cfg);
     nic->uplink().set_sink(hippi_j_->ingress(port));
     hippi_j_->connect_egress(port, nic->ingress());
@@ -227,12 +227,12 @@ net::Link& Testbed::wan_link_g_to_j() {
 }
 
 void Testbed::shape_host_vc(const std::string& src_host,
-                            const std::string& dst_host, double rate_bps) {
+                            const std::string& dst_host, units::BitRate rate) {
   net::Host* src = by_name_.at(src_host);
   net::Host* dst = by_name_.at(dst_host);
   for (AtmAttachment& a : atm_attached_) {
     if (&a.nic->owner() == src) {
-      a.nic->shape_vc(dst->id(), rate_bps);
+      a.nic->shape_vc(dst->id(), rate);
       return;
     }
   }
@@ -240,7 +240,7 @@ void Testbed::shape_host_vc(const std::string& src_host,
                           " has no ATM attachment");
 }
 
-double Testbed::attachment_rate_bps(const std::string& name) const {
+units::BitRate Testbed::attachment_rate(const std::string& name) const {
   auto it = attach_rate_.find(name);
   if (it == attach_rate_.end())
     throw std::out_of_range("unknown host: " + name);

@@ -14,6 +14,7 @@
 
 #include "des/scheduler.hpp"
 #include "net/atm.hpp"
+#include "units/units.hpp"
 #include "net/hippi.hpp"
 #include "net/host.hpp"
 
@@ -31,8 +32,8 @@ struct TestbedOptions {
   // ATM MTU used throughout ("the Fore ATM adapter supports large MTU
   // sizes, IP packets of 64 KByte size can be transferred throughout the
   // network").
-  std::uint32_t atm_mtu = net::kMtuAtmFore;
-  std::uint64_t switch_buffer_bytes = 4u << 20;
+  units::Bytes atm_mtu = net::kMtuAtmFore;
+  units::Bytes switch_buffer{4u << 20};
 };
 
 // Everything needed to run experiments on the assembled testbed.  Hosts are
@@ -43,7 +44,7 @@ class Testbed {
 
   des::Scheduler& scheduler() { return sched_; }
   const TestbedOptions& options() const { return opts_; }
-  double wan_rate_bps() const;
+  units::BitRate wan_rate() const;
 
   // --- Jülich ---
   net::Host& t3e600() { return *t3e600_; }     // 512-PE Cray T3E-600
@@ -69,13 +70,13 @@ class Testbed {
   const std::map<std::string, net::Host*>& hosts() const { return by_name_; }
 
   // Audit helper for the Figure-1 bench: the nominal attachment rate of a
-  // host (bit/s of its NIC uplink).
-  double attachment_rate_bps(const std::string& name) const;
+  // host (line rate of its NIC uplink).
+  units::BitRate attachment_rate(const std::string& name) const;
 
   // CBR-shape the VC from `src_host`'s ATM NIC toward `dst_host` (both by
   // paper name).  Only meaningful for ATM-attached sources.
   void shape_host_vc(const std::string& src_host, const std::string& dst_host,
-                     double rate_bps);
+                     units::BitRate rate);
 
   // Degrade the WAN fibre in both directions (the testbed's 1998
   // attenuation/timing troubles); 0 restores a clean line.
@@ -89,7 +90,8 @@ class Testbed {
  protected:
   // Shared with ExtendedTestbed (section-5 sites build on the same plumbing).
   net::Host* add_host(const std::string& name, net::HostCosts costs);
-  net::AtmNic* attach_atm(net::Host& h, net::AtmSwitch& sw, double rate_bps);
+  net::AtmNic* attach_atm(net::Host& h, net::AtmSwitch& sw,
+                          units::BitRate rate);
 
   TestbedOptions opts_;
   des::Scheduler sched_;
@@ -98,7 +100,7 @@ class Testbed {
   std::vector<std::unique_ptr<net::AtmNic>> atm_nics_;
   std::vector<std::unique_ptr<net::HippiNic>> hippi_nics_;
   std::map<std::string, net::Host*> by_name_;
-  std::map<std::string, double> attach_rate_;
+  std::map<std::string, units::BitRate> attach_rate_;
 
   std::unique_ptr<net::AtmSwitch> atm_j_, atm_g_;
   std::unique_ptr<net::HippiSwitch> hippi_j_;

@@ -46,15 +46,15 @@ void TraceRecorder::leave(std::uint32_t rank, std::uint32_t state,
 }
 
 void TraceRecorder::send(std::uint32_t rank, std::uint32_t peer,
-                         std::uint32_t tag, std::uint64_t bytes,
+                         std::uint32_t tag, units::Bytes bytes,
                          des::SimTime t) {
-  events_.push_back({t.ps(), rank, EventKind::kSend, peer, tag, bytes});
+  events_.push_back({t.ps(), rank, EventKind::kSend, peer, tag, bytes.count()});
 }
 
 void TraceRecorder::recv(std::uint32_t rank, std::uint32_t peer,
-                         std::uint32_t tag, std::uint64_t bytes,
+                         std::uint32_t tag, units::Bytes bytes,
                          des::SimTime t) {
-  events_.push_back({t.ps(), rank, EventKind::kRecv, peer, tag, bytes});
+  events_.push_back({t.ps(), rank, EventKind::kRecv, peer, tag, bytes.count()});
 }
 
 void TraceRecorder::write(std::ostream& os) const {

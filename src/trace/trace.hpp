@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "des/time.hpp"
+#include "units/units.hpp"
 
 namespace gtw::trace {
 
@@ -49,9 +50,9 @@ class TraceRecorder {
   void enter(std::uint32_t rank, std::uint32_t state, des::SimTime t);
   void leave(std::uint32_t rank, std::uint32_t state, des::SimTime t);
   void send(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
-            std::uint64_t bytes, des::SimTime t);
+            units::Bytes bytes, des::SimTime t);
   void recv(std::uint32_t rank, std::uint32_t peer, std::uint32_t tag,
-            std::uint64_t bytes, des::SimTime t);
+            units::Bytes bytes, des::SimTime t);
 
   const std::vector<TraceEvent>& events() const { return events_; }
 

@@ -1,0 +1,60 @@
+#include "units/units.hpp"
+
+#include <cstdio>
+
+namespace gtw::units {
+
+namespace {
+
+std::string fmt(const char* pattern, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Bytes::to_string() const {
+  if (n_ >= 1024u * 1024u) return fmt("%.1f MiB", mib());
+  if (n_ >= 1024u) return fmt("%.1f KiB", kib());
+  return fmt("%.0f B", static_cast<double>(n_));
+}
+
+std::string Bits::to_string() const {
+  const double v = static_cast<double>(n_);
+  if (v >= 1e9) return fmt("%.2f Gbit", v / 1e9);
+  if (v >= 1e6) return fmt("%.2f Mbit", v / 1e6);
+  if (v >= 1e3) return fmt("%.2f kbit", v / 1e3);
+  return fmt("%.0f bit", v);
+}
+
+std::string Cells::to_string() const {
+  return fmt("%.0f cells", static_cast<double>(n_));
+}
+
+std::string Ops::to_string() const {
+  if (n_ >= 1e9) return fmt("%.2f Gop", n_ / 1e9);
+  if (n_ >= 1e6) return fmt("%.2f Mop", n_ / 1e6);
+  return fmt("%.0f op", n_);
+}
+
+std::string BitRate::to_string() const {
+  if (v_ >= 1e9) return fmt("%.2f Gbit/s", gbps());
+  if (v_ >= 1e6) return fmt("%.2f Mbit/s", mbps());
+  if (v_ >= 1e3) return fmt("%.2f kbit/s", kbps());
+  return fmt("%.0f bit/s", v_);
+}
+
+std::string ByteRate::to_string() const {
+  if (v_ >= 1e9) return fmt("%.2f GB/s", v_ / 1e9);
+  if (v_ >= 1e6) return fmt("%.2f MB/s", v_ / 1e6);
+  return fmt("%.0f B/s", v_);
+}
+
+std::string OpRate::to_string() const {
+  if (v_ >= 1e9) return fmt("%.2f Gop/s", v_ / 1e9);
+  if (v_ >= 1e6) return fmt("%.2f Mop/s", v_ / 1e6);
+  return fmt("%.0f op/s", v_);
+}
+
+}  // namespace gtw::units

@@ -4,12 +4,13 @@
 
 namespace gtw::viz {
 
-double classical_ip_fps(const WorkbenchFormat& fmt, double link_rate_bps,
-                        std::uint32_t mtu) {
-  const std::uint64_t frame = fmt.frame_bytes();
+double classical_ip_fps(const WorkbenchFormat& fmt, units::BitRate link_rate,
+                        units::Bytes mtu) {
+  const std::uint64_t frame = fmt.frame_bytes().count();
   // IP fragmentation: payload per fragment (8-byte aligned), each fragment
   // re-carries the IP header and is AAL5-framed with LLC/SNAP.
-  const std::uint32_t per_frag = ((mtu - net::kIpHeaderBytes) / 8) * 8;
+  const std::uint32_t mtu_bytes = static_cast<std::uint32_t>(mtu.count());
+  const std::uint32_t per_frag = ((mtu_bytes - net::kIpHeaderBytes) / 8) * 8;
   const std::uint64_t full_frags = frame / per_frag;
   const std::uint32_t tail = static_cast<std::uint32_t>(frame % per_frag);
 
@@ -19,7 +20,7 @@ double classical_ip_fps(const WorkbenchFormat& fmt, double link_rate_bps,
     wire += net::aal5_wire_bytes(tail + net::kIpHeaderBytes +
                                  net::kLlcSnapBytes);
   const double seconds_per_frame =
-      static_cast<double>(wire) * 8.0 / link_rate_bps;
+      static_cast<double>(wire) * 8.0 / link_rate.bps();
   return 1.0 / seconds_per_frame;
 }
 

@@ -28,17 +28,17 @@ struct WorkbenchFormat {
   bool stereo = true;      // two eyes per plane
   int bytes_per_pixel = 3; // 24-bit true colour
 
-  std::uint64_t frame_bytes() const {
-    return static_cast<std::uint64_t>(width) * height * bytes_per_pixel *
-           planes * (stereo ? 2 : 1);
+  units::Bytes frame_bytes() const {
+    return units::Bytes{static_cast<std::uint64_t>(width) * height *
+                        bytes_per_pixel * planes * (stereo ? 2 : 1)};
   }
 };
 
-// Frames-per-second achievable for `fmt` over a link of `link_rate_bps`
-// with classical IP over ATM: the frame is fragmented into MTU-sized IP
+// Frames-per-second achievable for `fmt` over a link of `link_rate` with
+// classical IP over ATM: the frame is fragmented into MTU-sized IP
 // packets, each LLC/SNAP + AAL5 framed into 53-byte cells.
-double classical_ip_fps(const WorkbenchFormat& fmt, double link_rate_bps,
-                        std::uint32_t mtu = net::kMtuAtmDefault);
+double classical_ip_fps(const WorkbenchFormat& fmt, units::BitRate link_rate,
+                        units::Bytes mtu = net::kMtuAtmDefault);
 
 // Rendering cost on the visualization server (12-processor Onyx 2 class):
 // time to produce one workbench frame.
@@ -47,7 +47,7 @@ struct RenderModel {
   int processors = 12;
 
   des::SimTime frame_time(const WorkbenchFormat& fmt) const {
-    const double mpix = static_cast<double>(fmt.frame_bytes()) /
+    const double mpix = static_cast<double>(fmt.frame_bytes().count()) /
                         fmt.bytes_per_pixel / 1e6;
     return des::SimTime::seconds(seconds_per_mpixel * mpix / processors);
   }

@@ -234,8 +234,8 @@ struct AppsFixture {
     m_t3e = mc.add_machine(t3e);
     m_sp2 = mc.add_machine(sp2);
     net::TcpConfig cfg;
-    cfg.mss = tb.options().atm_mtu - 40;
-    cfg.recv_buffer = 4u << 20;
+    cfg.mss = tb.options().atm_mtu - units::Bytes{40};
+    cfg.recv_buffer = units::Bytes{4u << 20};
     mc.link_machines(m_t3e, m_sp2, cfg, 7000);
   }
 
@@ -323,7 +323,7 @@ TEST(D1VideoTest, FeasibleOnOc48) {
   const auto rep = session.report();
   EXPECT_EQ(rep.frames_sent, 100u);
   EXPECT_TRUE(rep.feasible);
-  EXPECT_NEAR(rep.offered_bps, 270e6, 1e6);
+  EXPECT_NEAR(rep.offered.bps(), 270e6, 1e6);
   EXPECT_LT(rep.jitter_ms, 5.0);
 }
 

@@ -157,7 +157,7 @@ TEST(FsiDistributedTest, MatchesSerialAcrossTheTestbed) {
   const int ma = mc.add_machine(a);
   const int mb = mc.add_machine(b);
   net::TcpConfig cfg;
-  cfg.mss = tb.options().atm_mtu - 40;
+  cfg.mss = tb.options().atm_mtu - units::Bytes{40};
   mc.link_machines(ma, mb, cfg, 7000);
   auto comm = std::make_shared<meta::Communicator>(
       mc, std::vector<meta::ProcLoc>{{ma, 0}, {mb, 0}});

@@ -30,7 +30,6 @@ using net::Host;
 using net::HostCosts;
 using net::Link;
 using net::VcAllocator;
-using net::kMbit;
 using net::kMtuAtmDefault;
 
 // Two hosts through one ATM switch — the minimal event-producing topology.
@@ -46,19 +45,21 @@ struct MiniNet {
   MiniNet()
       : a(sched, "a", 1), b(sched, "b", 2), sw(sched, "sw"),
         nic_a(sched, a, "a.atm",
-              Link::Config{622 * kMbit, des::SimTime::microseconds(250),
-                           16u << 20, des::SimTime::zero()},
+              Link::Config{units::BitRate::mbps(622.0),
+                           des::SimTime::microseconds(250),
+                           units::Bytes{16u << 20}, des::SimTime::zero()},
               kMtuAtmDefault),
         nic_b(sched, b, "b.atm",
-              Link::Config{622 * kMbit, des::SimTime::microseconds(250),
-                           16u << 20, des::SimTime::zero()},
+              Link::Config{units::BitRate::mbps(622.0),
+                           des::SimTime::microseconds(250),
+                           units::Bytes{16u << 20}, des::SimTime::zero()},
               kMtuAtmDefault) {
     const int pa = sw.add_port(Link::Config{
-        622 * kMbit, des::SimTime::microseconds(250), 16u << 20,
-        des::SimTime::zero()});
+        units::BitRate::mbps(622.0), des::SimTime::microseconds(250),
+        units::Bytes{16u << 20}, des::SimTime::zero()});
     const int pb = sw.add_port(Link::Config{
-        622 * kMbit, des::SimTime::microseconds(250), 16u << 20,
-        des::SimTime::zero()});
+        units::BitRate::mbps(622.0), des::SimTime::microseconds(250),
+        units::Bytes{16u << 20}, des::SimTime::zero()});
     nic_a.uplink().set_sink(sw.ingress(pa));
     nic_b.uplink().set_sink(sw.ingress(pb));
     sw.connect_egress(pa, nic_a.ingress());
@@ -79,8 +80,8 @@ std::uint64_t run_with_route_order(const std::vector<net::HostId>& order) {
   net.a.add_route(2, &net.nic_a, 2);
   net.b.add_route(1, &net.nic_b, 1);
   const auto res =
-      net::run_bulk_transfer(net.sched, net.a, net.b, 512u << 10, {});
-  EXPECT_GT(res.goodput_bps, 0.0);
+      net::run_bulk_transfer(net.sched, net.a, net.b, units::Bytes{512u << 10}, {});
+  EXPECT_GT(res.goodput.bps(), 0.0);
   return net.sched.stream_hash();
 }
 
@@ -120,8 +121,9 @@ TEST(DeterminismTest, BindOrderDoesNotPerturbEventStream) {
         net.b.bind(net::IpProto::kUdp, p, noop);
     }
     const auto res =
-        net::run_bulk_transfer(net.sched, net.a, net.b, 256u << 10, {});
-    EXPECT_GT(res.goodput_bps, 0.0);
+        net::run_bulk_transfer(net.sched, net.a, net.b, units::Bytes{256u << 10},
+                               {});
+    EXPECT_GT(res.goodput.bps(), 0.0);
     return net.sched.stream_hash();
   };
   EXPECT_EQ(run(false), run(true));
@@ -149,8 +151,8 @@ TEST(DeterminismTest, FullTestbedTransferIsReplayStable) {
   auto run = [] {
     testbed::Testbed tb{testbed::TestbedOptions{}};
     const auto res = net::run_bulk_transfer(tb.scheduler(), tb.gw_o200(),
-                                            tb.gw_e5000(), 1u << 20, {});
-    EXPECT_GT(res.goodput_bps, 0.0);
+                                            tb.gw_e5000(), units::Bytes{1u << 20}, {});
+    EXPECT_GT(res.goodput.bps(), 0.0);
     return tb.scheduler().stream_hash();
   };
   EXPECT_EQ(run(), run());

@@ -49,7 +49,7 @@ TEST(DecompositionTest, VoxelRangesPartition) {
 TEST(TimeOnTest, SerialWorkDoesNotScale) {
   MachineProfile m = MachineProfile::t3e600();
   WorkEstimate w;
-  w.serial_ops = 46e6;  // exactly 1 second at the calibrated rate
+  w.serial_ops = units::Ops{46e6};  // exactly 1 second at the calibrated rate
   const double t1 = time_on(m, w, 1).sec();
   const double t64 = time_on(m, w, 64).sec();
   EXPECT_NEAR(t1, 1.0, 1e-9);
@@ -61,7 +61,7 @@ TEST(TimeOnTest, ParallelWorkScalesLinearly) {
   m.per_pe_overhead = des::SimTime::zero();
   m.region_overhead = des::SimTime::zero();
   WorkEstimate w;
-  w.parallel_ops = 46e6 * 64;
+  w.parallel_ops = units::Ops{46e6 * 64};
   EXPECT_NEAR(time_on(m, w, 1).sec(), 64.0, 1e-6);
   EXPECT_NEAR(time_on(m, w, 64).sec(), 1.0, 1e-6);
 }
@@ -71,7 +71,7 @@ TEST(TimeOnTest, MaxParallelismCapsSpeedup) {
   m.per_pe_overhead = des::SimTime::zero();
   m.region_overhead = des::SimTime::zero();
   WorkEstimate w;
-  w.parallel_ops = 46e6 * 16;
+  w.parallel_ops = units::Ops{46e6 * 16};
   w.max_parallelism = 16;
   EXPECT_NEAR(time_on(m, w, 16).sec(), 1.0, 1e-6);
   EXPECT_NEAR(time_on(m, w, 256).sec(), 1.0, 1e-6);  // no further gain
@@ -79,7 +79,7 @@ TEST(TimeOnTest, MaxParallelismCapsSpeedup) {
 
 TEST(TimeOnTest, T3e1200IsAboutTwiceAsFast) {
   WorkEstimate w;
-  w.parallel_ops = 1e9;
+  w.parallel_ops = units::Ops{1e9};
   const double a = time_on(MachineProfile::t3e600(), w, 1).sec();
   const double b = time_on(MachineProfile::t3e1200(), w, 1).sec();
   EXPECT_NEAR(a / b, 2.0, 0.01);
@@ -154,15 +154,15 @@ TEST(Table1ShapeTest, RvoDominatesAtLowPeCounts) {
 
 TEST(WorkEstimateTest, AccumulationAddsFields) {
   WorkEstimate a, b;
-  a.parallel_ops = 10;
+  a.parallel_ops = units::Ops{10};
   a.reductions = 1;
-  b.parallel_ops = 5;
-  b.serial_ops = 2;
-  b.halo_bytes = 100;
+  b.parallel_ops = units::Ops{5};
+  b.serial_ops = units::Ops{2};
+  b.halo_bytes = units::Bytes{100};
   a += b;
-  EXPECT_DOUBLE_EQ(a.parallel_ops, 15.0);
-  EXPECT_DOUBLE_EQ(a.serial_ops, 2.0);
-  EXPECT_EQ(a.halo_bytes, 100u);
+  EXPECT_DOUBLE_EQ(a.parallel_ops.count(), 15.0);
+  EXPECT_DOUBLE_EQ(a.serial_ops.count(), 2.0);
+  EXPECT_EQ(a.halo_bytes.count(), 100u);
   EXPECT_EQ(a.reductions, 1);
 }
 

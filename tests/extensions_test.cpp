@@ -213,7 +213,7 @@ struct BonnFixture {
     m_bonn = mc.add_machine(bonn);
     m_gmd = mc.add_machine(gmd);
     net::TcpConfig cfg;
-    cfg.mss = tb.options().atm_mtu - 40;
+    cfg.mss = tb.options().atm_mtu - units::Bytes{40};
     mc.link_machines(m_bonn, m_gmd, cfg, 7400);
   }
 };

@@ -134,8 +134,8 @@ TEST(FlowIntegrationTest, FireTraceFeedsMultiRankGanttAndProfile) {
 TEST(FlowIntegrationTest, FrameStreamerMetersRenderAndUplink) {
   testbed::Testbed tb{testbed::TestbedOptions{}};
   net::TcpConfig tcp;
-  tcp.mss = tb.options().atm_mtu - 40;
-  tcp.recv_buffer = 1u << 20;
+  tcp.mss = tb.options().atm_mtu - units::Bytes{40};
+  tcp.recv_buffer = units::Bytes{1u << 20};
   viz::FrameStreamer streamer(tb.scheduler(), tb.onyx2_gmd(),
                               tb.workbench_juelich(), viz::WorkbenchFormat{},
                               viz::RenderModel{}, 10, tcp);

@@ -21,20 +21,23 @@ struct MetaFixture {
   net::Host fe_b{sched, "fe_b", 2};
   net::AtmSwitch sw{sched, "sw"};
   net::AtmNic nic_a{sched, fe_a, "a.atm",
-                    net::Link::Config{622 * net::kMbit,
+                    net::Link::Config{units::BitRate::mbps(622.0),
                                       des::SimTime::microseconds(250),
-                                      16u << 20, des::SimTime::zero()}};
+                                      units::Bytes{16u << 20},
+                                      des::SimTime::zero()}};
   net::AtmNic nic_b{sched, fe_b, "b.atm",
-                    net::Link::Config{622 * net::kMbit,
+                    net::Link::Config{units::BitRate::mbps(622.0),
                                       des::SimTime::microseconds(250),
-                                      16u << 20, des::SimTime::zero()}};
+                                      units::Bytes{16u << 20},
+                                      des::SimTime::zero()}};
   net::VcAllocator vcs;
   Metacomputer mc{sched};
   int t3e = -1, sp2 = -1;
 
   MetaFixture() {
-    auto cfg = net::Link::Config{622 * net::kMbit,
-                                 des::SimTime::microseconds(250), 16u << 20,
+    auto cfg = net::Link::Config{units::BitRate::mbps(622.0),
+                                 des::SimTime::microseconds(250),
+                                 units::Bytes{16u << 20},
                                  des::SimTime::zero()};
     const int pa = sw.add_port(cfg);
     const int pb = sw.add_port(cfg);
@@ -311,7 +314,8 @@ TEST(MetacomputerTest, WanSendRequiresLink) {
   const int ma = mc.add_machine(a);
   const int mb = mc.add_machine(b);
   EXPECT_FALSE(mc.linked(ma, mb));
-  EXPECT_THROW(mc.wan_send(ma, mb, 100, nullptr), std::runtime_error);
+  EXPECT_THROW(mc.wan_send(ma, mb, units::Bytes{100}, nullptr),
+               std::runtime_error);
 }
 
 TEST(MetacomputerTest, IntraCostScalesWithBytes) {
@@ -319,11 +323,11 @@ TEST(MetacomputerTest, IntraCostScalesWithBytes) {
   Metacomputer mc(sched);
   MachineSpec a;
   a.intra_latency = des::SimTime::microseconds(1);
-  a.intra_bandwidth_bps = 8e9;  // 1 GB/s
+  a.intra_bandwidth = units::BitRate::bps(8e9);  // 1 GB/s
   const int m = mc.add_machine(a);
-  EXPECT_NEAR(mc.intra_cost(m, 0).us(), 1.0, 1e-9);
+  EXPECT_NEAR(mc.intra_cost(m, units::Bytes::zero()).us(), 1.0, 1e-9);
   // 1 MB at 1 GB/s = 1 ms + 1 us latency.
-  EXPECT_NEAR(mc.intra_cost(m, 1'000'000).us(), 1001.0, 0.1);
+  EXPECT_NEAR(mc.intra_cost(m, units::Bytes{1'000'000}).us(), 1001.0, 0.1);
 }
 
 }  // namespace

@@ -70,13 +70,14 @@ TEST(RouteMtuTest, ReportsEgressNicMtu) {
   // Cray toward anything: the HiPPI MTU.
   EXPECT_EQ(tb.t3e600().route_mtu(tb.sp2().id()), net::kMtuHippi);
   // Unknown destination on a host without default route: 0.
-  EXPECT_EQ(tb.onyx2_juelich().route_mtu(9999), 0u);
+  EXPECT_EQ(tb.onyx2_juelich().route_mtu(9999).count(), 0u);
 }
 
 TEST(LinkStatsTest, UtilizationAndQueueDepthTracked) {
   des::Scheduler sched;
-  net::Link link(sched, "l", {100 * net::kMbit, des::SimTime::zero(),
-                              1u << 20, des::SimTime::zero()});
+  net::Link link(sched, "l",
+                 {units::BitRate::mbps(100.0), des::SimTime::zero(),
+                  units::Bytes{1u << 20}, des::SimTime::zero()});
   link.set_sink([](net::Frame) {});
   // 10 frames of 1 ms each, submitted at once: the link is busy 10 ms.
   for (int i = 0; i < 10; ++i)
@@ -93,9 +94,9 @@ TEST(ExecHaloTest, HaloExchangeCostsShowUpInParallelRuns) {
   m.per_pe_overhead = des::SimTime::zero();
   m.region_overhead = des::SimTime::zero();
   exec::WorkEstimate base;
-  base.parallel_ops = 46e6;  // 1 s at 1 PE
+  base.parallel_ops = units::Ops{46e6};  // 1 s at 1 PE
   exec::WorkEstimate with_halo = base;
-  with_halo.halo_bytes = 10'000'000;  // 10 MB at 300 MB/s ~ 33 ms
+  with_halo.halo_bytes = units::Bytes{10'000'000};  // 10 MB at 300 MB/s ~ 33 ms
   with_halo.halo_exchanges = 4;
   // At 1 PE no communication happens at all.
   EXPECT_DOUBLE_EQ(exec::time_on(m, base, 1).sec(),
@@ -109,8 +110,8 @@ TEST(ExecHaloTest, HaloExchangeCostsShowUpInParallelRuns) {
 TEST(FrameStreamerTest, IntervalStatsMatchAchievedRate) {
   testbed::Testbed tb{testbed::TestbedOptions{}};
   net::TcpConfig tcp;
-  tcp.mss = tb.options().atm_mtu - 40;
-  tcp.recv_buffer = 1u << 20;
+  tcp.mss = tb.options().atm_mtu - units::Bytes{40};
+  tcp.recv_buffer = units::Bytes{1u << 20};
   viz::FrameStreamer streamer(tb.scheduler(), tb.onyx2_gmd(),
                               tb.workbench_juelich(), viz::WorkbenchFormat{},
                               viz::RenderModel{}, 20, tcp);
@@ -138,7 +139,7 @@ TEST(WanAccountingTest, MetacomputerCountsWanTraffic) {
   const int ma = mc.add_machine(a);
   const int mb = mc.add_machine(b);
   net::TcpConfig cfg;
-  cfg.mss = tb.options().atm_mtu - 40;
+  cfg.mss = tb.options().atm_mtu - units::Bytes{40};
   mc.link_machines(ma, mb, cfg, 7000);
   meta::Communicator comm(mc, {{ma, 0}, {mb, 0}});
   comm.send(0, 1, 0, 10'000);

@@ -42,15 +42,18 @@ struct FaultFixture {
   FaultFixture()
       : a(sched, "a", 1), b(sched, "b", 2), sw(sched, "sw"),
         nic_a(sched, a, "a.atm",
-              Link::Config{622 * kMbit, SimTime::microseconds(250), 16u << 20,
+              Link::Config{units::BitRate::mbps(622.0),
+                           SimTime::microseconds(250), units::Bytes{16u << 20},
                            SimTime::zero()},
               kMtuAtmDefault),
         nic_b(sched, b, "b.atm",
-              Link::Config{622 * kMbit, SimTime::microseconds(250), 16u << 20,
+              Link::Config{units::BitRate::mbps(622.0),
+                           SimTime::microseconds(250), units::Bytes{16u << 20},
                            SimTime::zero()},
               kMtuAtmDefault) {
-    const auto cfg = Link::Config{622 * kMbit, SimTime::microseconds(250),
-                                  4u << 20, SimTime::zero()};
+    const auto cfg =
+        Link::Config{units::BitRate::mbps(622.0), SimTime::microseconds(250),
+                     units::Bytes{4u << 20}, SimTime::zero()};
     pa = sw.add_port(cfg);
     pb = sw.add_port(cfg);
     nic_a.uplink().set_sink(sw.ingress(pa));
@@ -68,8 +71,8 @@ struct FaultFixture {
 TEST(FaultPlanTest, LinkDownRefusesAndFlushesThenRecovers) {
   des::Scheduler sched;
   Link link(sched, "wire",
-            {155 * kMbit, SimTime::microseconds(100), 1u << 20,
-             SimTime::zero()});
+            {units::BitRate::mbps(155.0), SimTime::microseconds(100),
+             units::Bytes{1u << 20}, SimTime::zero()});
   int delivered = 0;
   link.set_sink([&](Frame) { ++delivered; });
 
@@ -104,7 +107,7 @@ TEST(FaultPlanTest, LinkFlapTcpRecoversAllBytes) {
   TcpConnection conn(f.a, f.b, 100, 200);
   const std::uint64_t total = 2u << 20;
   bool delivered = false;
-  conn.send(0, total, {}, [&](const std::any&, SimTime) { delivered = true; });
+  conn.send(0, units::Bytes{total}, {}, [&](const std::any&, SimTime) { delivered = true; });
   f.sched.run();
 
   EXPECT_TRUE(delivered);
@@ -124,7 +127,7 @@ TEST(FaultPlanTest, BerBurstRestoresPriorRate) {
   // Datagram CBR stream across the burst; at 1e-5 a 9 KByte frame is lost
   // with probability ~0.5, so corruption is certain over dozens of frames.
   CbrSource src(f.a, 7000, 2, 7001,
-                {9000, SimTime::milliseconds(5), 120});
+                {units::Bytes{9000}, SimTime::milliseconds(5), 120});
   CbrSink sink(f.b, 7001);
   src.start();
   f.sched.run();
@@ -137,15 +140,15 @@ TEST(FaultPlanTest, BerBurstRestoresPriorRate) {
 
 TEST(FaultPlanTest, BufferSqueezeCausesDropsAndRestoresLimit) {
   FaultFixture f;
-  const std::uint64_t original = f.toward_b().config().queue_limit_bytes;
+  const units::Bytes original = f.toward_b().config().queue_limit;
   FaultPlan plan(f.sched);
   // Squeeze the switch egress buffer below one MTU frame: every arrival
   // during the squeeze overflows (the upstream NIC serializes, so the
   // egress queue never legitimately holds more than the transmitting
   // frame — only a sub-frame limit drops deterministically here).
-  plan.buffer_squeeze(f.toward_b(), ms(0), ms(200), 5'000);
+  plan.buffer_squeeze(f.toward_b(), ms(0), ms(200), units::Bytes{5'000});
 
-  CbrSource src(f.a, 7000, 2, 7001, {9000, SimTime::milliseconds(5), 60});
+  CbrSource src(f.a, 7000, 2, 7001, {units::Bytes{9000}, SimTime::milliseconds(5), 60});
   CbrSink sink(f.b, 7001);
   src.start();
   f.sched.run();
@@ -153,7 +156,7 @@ TEST(FaultPlanTest, BufferSqueezeCausesDropsAndRestoresLimit) {
   EXPECT_GT(f.toward_b().drops(), 0u);
   EXPECT_GT(sink.frames_received(), 0u);  // traffic resumes after restore
   EXPECT_LT(sink.frames_received(), src.frames_sent());
-  EXPECT_EQ(f.toward_b().config().queue_limit_bytes, original);
+  EXPECT_EQ(f.toward_b().config().queue_limit, original);
 }
 
 TEST(FaultPlanTest, HostOutageStopsForwardingThenResumes) {
@@ -161,7 +164,7 @@ TEST(FaultPlanTest, HostOutageStopsForwardingThenResumes) {
   FaultPlan plan(f.sched);
   plan.host_outage(f.b, ms(100), ms(200));
 
-  CbrSource src(f.a, 7000, 2, 7001, {9000, SimTime::milliseconds(10), 60});
+  CbrSource src(f.a, 7000, 2, 7001, {units::Bytes{9000}, SimTime::milliseconds(10), 60});
   CbrSink sink(f.b, 7001);
   src.start();
   f.sched.run();
@@ -223,7 +226,7 @@ TEST(FaultPlanTest, SameScriptReplaysIdentically) {
     plan.link_down(f.toward_b(), ms(5), ms(80));
     plan.ber_burst(f.toward_b(), ms(120), ms(60), 1e-6);
     TcpConnection conn(f.a, f.b, 100, 200);
-    conn.send(0, 4u << 20, {}, nullptr);
+    conn.send(0, units::Bytes{4u << 20}, {}, nullptr);
     f.sched.run();
     return Outcome{conn.stats(0).bytes_acked, conn.stats(0).retransmits,
                    conn.stats(0).timeouts, f.toward_b().outage_drops(),
@@ -253,21 +256,24 @@ struct RetryFixture {
   net::Host fe_b{sched, "fe_b", 2};
   net::AtmSwitch sw{sched, "sw"};
   net::AtmNic nic_a{sched, fe_a, "a.atm",
-                    net::Link::Config{622 * net::kMbit,
+                    net::Link::Config{units::BitRate::mbps(622.0),
                                       des::SimTime::microseconds(250),
-                                      16u << 20, des::SimTime::zero()}};
+                                      units::Bytes{16u << 20},
+                                      des::SimTime::zero()}};
   net::AtmNic nic_b{sched, fe_b, "b.atm",
-                    net::Link::Config{622 * net::kMbit,
+                    net::Link::Config{units::BitRate::mbps(622.0),
                                       des::SimTime::microseconds(250),
-                                      16u << 20, des::SimTime::zero()}};
+                                      units::Bytes{16u << 20},
+                                      des::SimTime::zero()}};
   net::VcAllocator vcs;
   Metacomputer mc{sched};
   int ma = -1, mb = -1;
   int pa = -1, pb = -1;
 
   RetryFixture() {
-    auto cfg = net::Link::Config{622 * net::kMbit,
-                                 des::SimTime::microseconds(250), 16u << 20,
+    auto cfg = net::Link::Config{units::BitRate::mbps(622.0),
+                                 des::SimTime::microseconds(250),
+                                 units::Bytes{16u << 20},
                                  des::SimTime::zero()};
     pa = sw.add_port(cfg);
     pb = sw.add_port(cfg);

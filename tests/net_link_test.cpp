@@ -39,8 +39,9 @@ INSTANTIATE_TEST_SUITE_P(PduSizes, Aal5Param,
 
 TEST(LinkTest, SerializationTiming) {
   des::Scheduler sched;
-  Link link(sched, "l", {100 * kMbit, des::SimTime::zero(), 1 << 20,
-                         des::SimTime::zero()});
+  Link link(sched, "l",
+            {units::BitRate::mbps(100.0), des::SimTime::zero(),
+             units::Bytes{1 << 20}, des::SimTime::zero()});
   des::SimTime delivered_at;
   link.set_sink([&](Frame) { delivered_at = sched.now(); });
   Frame f;
@@ -52,8 +53,9 @@ TEST(LinkTest, SerializationTiming) {
 
 TEST(LinkTest, PropagationAddsDelay) {
   des::Scheduler sched;
-  Link link(sched, "l", {100 * kMbit, des::SimTime::milliseconds(5), 1 << 20,
-                         des::SimTime::zero()});
+  Link link(sched, "l",
+            {units::BitRate::mbps(100.0), des::SimTime::milliseconds(5),
+             units::Bytes{1 << 20}, des::SimTime::zero()});
   des::SimTime delivered_at;
   link.set_sink([&](Frame) { delivered_at = sched.now(); });
   link.submit(Frame{{}, 12500, 0, kNoHost});
@@ -63,8 +65,9 @@ TEST(LinkTest, PropagationAddsDelay) {
 
 TEST(LinkTest, FramesSerializeBackToBack) {
   des::Scheduler sched;
-  Link link(sched, "l", {100 * kMbit, des::SimTime::zero(), 1 << 20,
-                         des::SimTime::zero()});
+  Link link(sched, "l",
+            {units::BitRate::mbps(100.0), des::SimTime::zero(),
+             units::Bytes{1 << 20}, des::SimTime::zero()});
   std::vector<double> times;
   link.set_sink([&](Frame) { times.push_back(sched.now().ms()); });
   for (int i = 0; i < 3; ++i) link.submit(Frame{{}, 12500, 0, kNoHost});
@@ -79,8 +82,9 @@ TEST(LinkTest, FramesSerializeBackToBack) {
 
 TEST(LinkTest, OverflowDropsWholeFrame) {
   des::Scheduler sched;
-  Link link(sched, "l", {100 * kMbit, des::SimTime::zero(), 30000,
-                         des::SimTime::zero()});
+  Link link(sched, "l",
+            {units::BitRate::mbps(100.0), des::SimTime::zero(),
+             units::Bytes{30000}, des::SimTime::zero()});
   int delivered = 0;
   link.set_sink([&](Frame) { ++delivered; });
   EXPECT_TRUE(link.submit(Frame{{}, 12500, 0, kNoHost}));
@@ -98,20 +102,24 @@ struct AtmPair {
   Host b{sched, "b", 2};
   AtmSwitch sw{sched, "sw"};
   AtmNic nic_a{sched, a, "a.atm",
-               Link::Config{622 * kMbit, des::SimTime::microseconds(1),
-                            4u << 20, des::SimTime::zero()}};
+               Link::Config{units::BitRate::mbps(622.0),
+                            des::SimTime::microseconds(1),
+                            units::Bytes{4u << 20}, des::SimTime::zero()}};
   AtmNic nic_b{sched, b, "b.atm",
-               Link::Config{622 * kMbit, des::SimTime::microseconds(1),
-                            4u << 20, des::SimTime::zero()}};
+               Link::Config{units::BitRate::mbps(622.0),
+                            des::SimTime::microseconds(1),
+                            units::Bytes{4u << 20}, des::SimTime::zero()}};
   VcAllocator vcs;
 
   AtmPair() {
-    const int pa = sw.add_port(Link::Config{622 * kMbit,
-                                            des::SimTime::microseconds(1),
-                                            4u << 20, des::SimTime::zero()});
-    const int pb = sw.add_port(Link::Config{622 * kMbit,
-                                            des::SimTime::microseconds(1),
-                                            4u << 20, des::SimTime::zero()});
+    const int pa = sw.add_port(
+        Link::Config{units::BitRate::mbps(622.0),
+                     des::SimTime::microseconds(1), units::Bytes{4u << 20},
+                     des::SimTime::zero()});
+    const int pb = sw.add_port(
+        Link::Config{units::BitRate::mbps(622.0),
+                     des::SimTime::microseconds(1), units::Bytes{4u << 20},
+                     des::SimTime::zero()});
     nic_a.uplink().set_sink(sw.ingress(pa));
     nic_b.uplink().set_sink(sw.ingress(pb));
     sw.connect_egress(pa, nic_a.ingress());
@@ -168,8 +176,8 @@ TEST(AtmTest, UnmappedVcCountsDrop) {
   des::Scheduler sched;
   Host a(sched, "a", 1);
   AtmNic nic(sched, a, "a.atm",
-             Link::Config{622 * kMbit, des::SimTime::zero(), 1u << 20,
-                          des::SimTime::zero()});
+             Link::Config{units::BitRate::mbps(622.0), des::SimTime::zero(),
+                          units::Bytes{1u << 20}, des::SimTime::zero()});
   IpPacket pkt;
   pkt.total_bytes = 100;
   nic.transmit(std::move(pkt), /*next_hop=*/55);
@@ -204,9 +212,11 @@ TEST(HippiTest, StationForwarding) {
   HippiNic nic_a(sched, a, "a.hippi");
   HippiNic nic_b(sched, b, "b.hippi");
   const int pa = sw.add_port(Link::Config{kHippiRate, des::SimTime::zero(),
-                                          4u << 20, des::SimTime::zero()});
+                                          units::Bytes{4u << 20},
+                                          des::SimTime::zero()});
   const int pb = sw.add_port(Link::Config{kHippiRate, des::SimTime::zero(),
-                                          4u << 20, des::SimTime::zero()});
+                                          units::Bytes{4u << 20},
+                                          des::SimTime::zero()});
   nic_a.uplink().set_sink(sw.ingress(pa));
   nic_b.uplink().set_sink(sw.ingress(pb));
   sw.connect_egress(pa, nic_a.ingress());
@@ -267,14 +277,15 @@ TEST(CbrTest, SourceSinkRatesMatchWithoutCongestion) {
   AtmPair net;
   CbrSink sink(net.b, 20);
   CbrSource src(net.a, 21, 2, 20,
-                CbrSource::Config{8000, des::SimTime::milliseconds(1), 100});
+                CbrSource::Config{units::Bytes{8000}, des::SimTime::milliseconds(1),
+                                  100});
   src.start();
   net.sched.run();
   EXPECT_EQ(src.frames_sent(), 100u);
   EXPECT_EQ(sink.frames_received(), 100u);
   EXPECT_EQ(sink.frames_lost(), 0u);
   // 8000 B per ms = 64 Mbit/s offered.
-  EXPECT_NEAR(src.offered_rate_bps(), 64e6, 1.0);
+  EXPECT_NEAR(src.offered_rate().bps(), 64e6, 1.0);
 }
 
 }  // namespace

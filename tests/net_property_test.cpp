@@ -26,13 +26,15 @@ TEST_P(TcpDeliverySweep, DeliversExactByteCountInOrder) {
   des::Scheduler sched;
   Host a(sched, "a", 1), b(sched, "b", 2);
   AtmSwitch sw(sched, "sw");
-  Link::Config fast{622 * kMbit, des::SimTime::microseconds(200), 16u << 20,
+  Link::Config fast{units::BitRate::mbps(622.0),
+                    des::SimTime::microseconds(200), units::Bytes{16u << 20},
                     des::SimTime::zero()};
-  Link::Config bottleneck{100 * kMbit, des::SimTime::microseconds(200),
-                          static_cast<std::uint64_t>(queue_kb) << 10,
+  Link::Config bottleneck{units::BitRate::mbps(100.0),
+                          des::SimTime::microseconds(200),
+                          units::Bytes{static_cast<std::uint64_t>(queue_kb) << 10},
                           des::SimTime::zero()};
-  AtmNic nic_a(sched, a, "a.atm", fast, mtu);
-  AtmNic nic_b(sched, b, "b.atm", fast, mtu);
+  AtmNic nic_a(sched, a, "a.atm", fast, units::Bytes{mtu});
+  AtmNic nic_b(sched, b, "b.atm", fast, units::Bytes{mtu});
   const int pa = sw.add_port(fast);
   const int pb = sw.add_port(bottleneck);
   nic_a.uplink().set_sink(sw.ingress(pa));
@@ -45,8 +47,8 @@ TEST_P(TcpDeliverySweep, DeliversExactByteCountInOrder) {
   b.add_route(1, &nic_b, 1);
 
   TcpConfig cfg;
-  cfg.mss = mtu - 40;
-  cfg.recv_buffer = static_cast<std::uint64_t>(window_kb) << 10;
+  cfg.mss = units::Bytes{mtu - 40};
+  cfg.recv_buffer = units::Bytes{static_cast<std::uint64_t>(window_kb) << 10};
   TcpConnection conn(a, b, 100, 200, cfg);
 
   // Several messages of awkward sizes; all must arrive, in order.
@@ -60,7 +62,7 @@ TEST_P(TcpDeliverySweep, DeliversExactByteCountInOrder) {
   }
   std::vector<int> order;
   for (int i = 0; i < 6; ++i) {
-    conn.send(0, sizes[static_cast<std::size_t>(i)], std::any{i},
+    conn.send(0, units::Bytes{sizes[static_cast<std::size_t>(i)]}, std::any{i},
               [&order](const std::any& d, des::SimTime) {
                 order.push_back(std::any_cast<int>(d));
               });
@@ -91,7 +93,8 @@ TEST_P(TcpAdversitySweep, DeliversEveryByteExactlyOnceUnderRandomFaults) {
   des::Scheduler sched;
   Host a(sched, "a", 1), b(sched, "b", 2);
   AtmSwitch sw(sched, "sw");
-  Link::Config wire{155 * kMbit, des::SimTime::microseconds(250), 2u << 20,
+  Link::Config wire{units::BitRate::mbps(155.0),
+                    des::SimTime::microseconds(250), units::Bytes{2u << 20},
                     des::SimTime::zero()};
   AtmNic nic_a(sched, a, "a.atm", wire, kMtuAtmDefault);
   AtmNic nic_b(sched, b, "b.atm", wire, kMtuAtmDefault);
@@ -137,7 +140,7 @@ TEST_P(TcpAdversitySweep, DeliversEveryByteExactlyOnceUnderRandomFaults) {
   for (int i = 0; i < 8; ++i) {
     const std::uint64_t bytes = 20'000 + rng.uniform_int(180'000);
     queued += bytes;
-    conn.send(0, bytes, std::any{i},
+    conn.send(0, units::Bytes{bytes}, std::any{i},
               [&order, &delivery_counts](const std::any& d, des::SimTime) {
                 const int idx = std::any_cast<int>(d);
                 order.push_back(idx);
@@ -221,8 +224,9 @@ TEST(ConservationTest, TestbedPacketAccountingBalances) {
 
 TEST(ConservationTest, LinkByteCountersMatchFrames) {
   des::Scheduler sched;
-  Link link(sched, "l", {100 * kMbit, des::SimTime::zero(), 1u << 20,
-                         des::SimTime::zero()});
+  Link link(sched, "l",
+            {units::BitRate::mbps(100.0), des::SimTime::zero(),
+             units::Bytes{1u << 20}, des::SimTime::zero()});
   std::uint64_t delivered_bytes = 0;
   link.set_sink([&](Frame f) { delivered_bytes += f.wire_bytes; });
   std::uint64_t submitted = 0;

@@ -17,8 +17,9 @@ namespace {
 
 TEST(BitErrorTest, CleanLinkDeliversEverything) {
   des::Scheduler sched;
-  Link link(sched, "l", {100 * kMbit, des::SimTime::zero(), 8u << 20,
-                         des::SimTime::zero(), 0.0});
+  Link link(sched, "l",
+            {units::BitRate::mbps(100.0), des::SimTime::zero(),
+             units::Bytes{8u << 20}, des::SimTime::zero(), 0.0});
   int got = 0;
   link.set_sink([&](Frame) { ++got; });
   for (int i = 0; i < 500; ++i) link.submit(Frame{{}, 1000, 0, kNoHost});
@@ -32,8 +33,9 @@ class BerParam : public ::testing::TestWithParam<double> {};
 TEST_P(BerParam, LossRateTracksFrameErrorProbability) {
   const double ber = GetParam();
   des::Scheduler sched;
-  Link link(sched, "l", {1e9, des::SimTime::zero(), 64u << 20,
-                         des::SimTime::zero(), ber});
+  Link link(sched, "l",
+            {units::BitRate::gbps(1.0), des::SimTime::zero(),
+             units::Bytes{64u << 20}, des::SimTime::zero(), ber});
   int got = 0;
   link.set_sink([&](Frame) { ++got; });
   const int frames = 4000;
@@ -58,7 +60,8 @@ TEST(BitErrorTest, TcpSurvivesNoisyWanLink) {
   des::Scheduler sched;
   Host a(sched, "a", 1), b(sched, "b", 2);
   AtmSwitch sw(sched, "sw");
-  Link::Config clean{622 * kMbit, des::SimTime::microseconds(100), 8u << 20,
+  Link::Config clean{units::BitRate::mbps(622.0),
+                     des::SimTime::microseconds(100), units::Bytes{8u << 20},
                      des::SimTime::zero()};
   Link::Config dirty = clean;
   dirty.bit_error_rate = 2e-8;  // ~1% loss for 64 KB frames
@@ -76,10 +79,10 @@ TEST(BitErrorTest, TcpSurvivesNoisyWanLink) {
   b.add_route(1, &nic_b, 1);
 
   TcpConfig cfg;
-  cfg.mss = kMtuAtmFore - 40;
-  cfg.recv_buffer = 1u << 20;
-  const auto res = run_bulk_transfer(sched, a, b, 16u << 20, cfg);
-  EXPECT_GT(res.goodput_bps, 0.0);
+  cfg.mss = kMtuAtmFore - units::Bytes{40};
+  cfg.recv_buffer = units::Bytes{1u << 20};
+  const auto res = run_bulk_transfer(sched, a, b, units::Bytes{16u << 20}, cfg);
+  EXPECT_GT(res.goodput.bps(), 0.0);
   EXPECT_GT(res.sender_stats.retransmits, 0u);
   EXPECT_EQ(res.sender_stats.bytes_acked, 16u << 20);
 }
@@ -88,7 +91,8 @@ TEST(ShapingTest, ShapedVcStaysWithinContract) {
   des::Scheduler sched;
   Host a(sched, "a", 1), b(sched, "b", 2);
   AtmSwitch sw(sched, "sw");
-  Link::Config link{622 * kMbit, des::SimTime::microseconds(10), 8u << 20,
+  Link::Config link{units::BitRate::mbps(622.0),
+                    des::SimTime::microseconds(10), units::Bytes{8u << 20},
                     des::SimTime::zero()};
   AtmNic nic_a(sched, a, "a.atm", link, kMtuAtmDefault);
   AtmNic nic_b(sched, b, "b.atm", link, kMtuAtmDefault);
@@ -102,12 +106,13 @@ TEST(ShapingTest, ShapedVcStaysWithinContract) {
   vcs.provision(nic_a, nic_b, {{&sw, pa, pb}});
   a.add_route(2, &nic_a, 2);
   b.add_route(1, &nic_b, 1);
-  nic_a.shape_vc(2, 50 * kMbit);
+  nic_a.shape_vc(2, units::BitRate::mbps(50.0));
 
   // Offer a burst far above the shaping rate.
   CbrSink sink(b, 30);
   CbrSource src(a, 31, 2, 30,
-                CbrSource::Config{6000, des::SimTime::microseconds(100), 400});
+                CbrSource::Config{units::Bytes{6000},
+                                  des::SimTime::microseconds(100), 400});
   src.start();  // offered ~480 Mbit/s
   sched.run();
   // Everything eventually arrives (shaping delays, does not drop)...
@@ -121,11 +126,11 @@ TEST(ShapingTest, UnshapedVcIsUnaffected) {
   testbed::Testbed tb{testbed::TestbedOptions{}};
   // Baseline E3-style check stays fast without shaping.
   net::TcpConfig cfg;
-  cfg.mss = tb.options().atm_mtu - 40;
-  cfg.recv_buffer = 1u << 20;
+  cfg.mss = tb.options().atm_mtu - units::Bytes{40};
+  cfg.recv_buffer = units::Bytes{1u << 20};
   const auto res = run_bulk_transfer(tb.scheduler(), tb.onyx2_juelich(),
-                                     tb.onyx2_gmd(), 8u << 20, cfg);
-  EXPECT_GT(res.goodput_bps, 400e6);
+                                     tb.onyx2_gmd(), units::Bytes{8u << 20}, cfg);
+  EXPECT_GT(res.goodput.bps(), 400e6);
 }
 
 TEST(ShapingTest, ShapingProtectsVideoFromCrossTraffic) {
@@ -137,15 +142,15 @@ TEST(ShapingTest, ShapingProtectsVideoFromCrossTraffic) {
     testbed::Testbed tb{testbed::TestbedOptions{testbed::WanEra::kOc12_1997}};
     // Both flows leave the GMD toward Jülich: they share the GMD switch's
     // WAN egress queue.
-    if (shaped) tb.shape_host_vc("e500", "onyx2_juelich", 250e6);
+    if (shaped) tb.shape_host_vc("e500", "onyx2_juelich", units::BitRate::mbps(250.0));
     apps::D1VideoSession video(tb.onyx2_gmd(), tb.workbench_juelich(),
-                               apps::D1VideoConfig{270e6, 25.0, 60}, 7700);
+                               apps::D1VideoConfig{units::BitRate::mbps(270.0), 25.0, 60}, 7700);
     video.start();
     net::TcpConfig cfg;
-    cfg.mss = kMtuAtmFore - 40;
-    cfg.recv_buffer = 2u << 20;
+    cfg.mss = kMtuAtmFore - units::Bytes{40};
+    cfg.recv_buffer = units::Bytes{2u << 20};
     net::TcpConnection bulk(tb.e500(), tb.onyx2_juelich(), 7800, 7801, cfg);
-    bulk.send(0, 64u << 20);
+    bulk.send(0, units::Bytes{64u << 20});
     tb.scheduler().run();
     return video.report();
   };

@@ -23,22 +23,24 @@ struct TcpFixture {
   VcAllocator vcs;
   int pa = -1, pb = -1;
 
-  explicit TcpFixture(double bottleneck_bps = 622 * kMbit,
-                      std::uint64_t bottleneck_queue = 4u << 20,
+  explicit TcpFixture(units::BitRate bottleneck = units::BitRate::mbps(622.0),
+                      units::Bytes bottleneck_queue = units::Bytes{4u << 20},
                       des::SimTime prop = des::SimTime::microseconds(250),
                       HostCosts costs = {})
       : a(sched, "a", 1, costs), b(sched, "b", 2, costs), sw(sched, "sw"),
         nic_a(sched, a, "a.atm",
-              Link::Config{622 * kMbit, prop, 16u << 20, des::SimTime::zero()},
+              Link::Config{units::BitRate::mbps(622.0), prop,
+                           units::Bytes{16u << 20}, des::SimTime::zero()},
               kMtuAtmDefault),
         nic_b(sched, b, "b.atm",
-              Link::Config{622 * kMbit, prop, 16u << 20, des::SimTime::zero()},
+              Link::Config{units::BitRate::mbps(622.0), prop,
+                           units::Bytes{16u << 20}, des::SimTime::zero()},
               kMtuAtmDefault) {
     pa = sw.add_port(
-        Link::Config{622 * kMbit, prop, 16u << 20, des::SimTime::zero()});
-    pb = sw.add_port(
-        Link::Config{bottleneck_bps, prop, bottleneck_queue,
-                     des::SimTime::zero()});
+        Link::Config{units::BitRate::mbps(622.0), prop,
+                           units::Bytes{16u << 20}, des::SimTime::zero()});
+    pb = sw.add_port(Link::Config{bottleneck, prop, bottleneck_queue,
+                                  des::SimTime::zero()});
     nic_a.uplink().set_sink(sw.ingress(pa));
     nic_b.uplink().set_sink(sw.ingress(pb));
     sw.connect_egress(pa, nic_a.ingress());
@@ -75,7 +77,7 @@ TEST(TcpTest, DeliversSingleMessage) {
   TcpFixture f;
   TcpConnection conn(f.a, f.b, 100, 200);
   bool delivered = false;
-  conn.send(0, 50'000, {}, [&](const std::any&, des::SimTime) {
+  conn.send(0, units::Bytes{50'000}, {}, [&](const std::any&, des::SimTime) {
     delivered = true;
   });
   f.sched.run();
@@ -89,7 +91,8 @@ TEST(TcpTest, MessageBoundariesDeliverInOrder) {
   TcpConnection conn(f.a, f.b, 100, 200);
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    conn.send(0, 10'000 + static_cast<std::uint64_t>(i) * 1000, std::any{i},
+    conn.send(0, units::Bytes{10'000 + static_cast<std::uint64_t>(i) * 1000},
+              std::any{i},
               [&order](const std::any& d, des::SimTime) {
                 order.push_back(std::any_cast<int>(d));
               });
@@ -102,8 +105,8 @@ TEST(TcpTest, FullDuplexSimultaneousTransfers) {
   TcpFixture f;
   TcpConnection conn(f.a, f.b, 100, 200);
   bool d0 = false, d1 = false;
-  conn.send(0, 200'000, {}, [&](const std::any&, des::SimTime) { d0 = true; });
-  conn.send(1, 300'000, {}, [&](const std::any&, des::SimTime) { d1 = true; });
+  conn.send(0, units::Bytes{200'000}, {}, [&](const std::any&, des::SimTime) { d0 = true; });
+  conn.send(1, units::Bytes{300'000}, {}, [&](const std::any&, des::SimTime) { d1 = true; });
   f.sched.run();
   EXPECT_TRUE(d0);
   EXPECT_TRUE(d1);
@@ -112,38 +115,40 @@ TEST(TcpTest, FullDuplexSimultaneousTransfers) {
 }
 
 TEST(TcpTest, ThroughputApproachesBottleneckOnCleanPath) {
-  TcpFixture f(/*bottleneck_bps=*/155 * kMbit);
+  TcpFixture f(/*bottleneck=*/units::BitRate::mbps(155.0));
   TcpConfig cfg;
-  cfg.recv_buffer = 2u << 20;
+  cfg.recv_buffer = units::Bytes{2u << 20};
   const auto res =
-      run_bulk_transfer(f.sched, f.a, f.b, 20u << 20, cfg);
+      run_bulk_transfer(f.sched, f.a, f.b, units::Bytes{20u << 20}, cfg);
   // AAL5 + LLC/SNAP tax on 9180-byte MTU is ~10%; expect > 75% of line rate
   // and never more than the line rate.
-  EXPECT_GT(res.goodput_bps, 0.75 * 155 * kMbit);
-  EXPECT_LT(res.goodput_bps, 155 * kMbit);
+  EXPECT_GT(res.goodput.bps(), 0.75 * units::BitRate::mbps(155.0).bps());
+  EXPECT_LT(res.goodput.bps(), units::BitRate::mbps(155.0).bps());
 }
 
 TEST(TcpTest, SmallWindowLimitsThroughputToWindowPerRtt) {
   // 10 ms propagation on each of the two hops per direction -> RTT ~40 ms;
   // a 64 KB window caps goodput at ~window/RTT = 13 Mbit/s regardless of
   // the 622 Mbit/s line.
-  TcpFixture f(622 * kMbit, 16u << 20, des::SimTime::milliseconds(10));
+  TcpFixture f(units::BitRate::mbps(622.0), units::Bytes{16u << 20},
+               des::SimTime::milliseconds(10));
   TcpConfig cfg;
-  cfg.recv_buffer = 64u << 10;
-  const auto res = run_bulk_transfer(f.sched, f.a, f.b, 8u << 20, cfg);
+  cfg.recv_buffer = units::Bytes{64u << 10};
+  const auto res = run_bulk_transfer(f.sched, f.a, f.b, units::Bytes{8u << 20}, cfg);
   const double cap = (64.0 * 1024 * 8) / 0.040;
-  EXPECT_LT(res.goodput_bps, 1.1 * cap);
-  EXPECT_GT(res.goodput_bps, 0.5 * cap);
+  EXPECT_LT(res.goodput.bps(), 1.1 * cap);
+  EXPECT_GT(res.goodput.bps(), 0.5 * cap);
 }
 
 TEST(TcpTest, RecoversFromLossViaFastRetransmit) {
   // Tiny switch buffer at the bottleneck forces overflow drops.
-  TcpFixture f(/*bottleneck_bps=*/100 * kMbit, /*bottleneck_queue=*/60'000);
+  TcpFixture f(/*bottleneck=*/units::BitRate::mbps(100.0),
+               /*bottleneck_queue=*/units::Bytes{60'000});
   TcpConfig cfg;
-  cfg.recv_buffer = 1u << 20;
+  cfg.recv_buffer = units::Bytes{1u << 20};
   bool delivered = false;
   TcpConnection conn(f.a, f.b, 100, 200, cfg);
-  conn.send(0, 10u << 20, {}, [&](const std::any&, des::SimTime) {
+  conn.send(0, units::Bytes{10u << 20}, {}, [&](const std::any&, des::SimTime) {
     delivered = true;
   });
   f.sched.run();
@@ -154,10 +159,11 @@ TEST(TcpTest, RecoversFromLossViaFastRetransmit) {
 }
 
 TEST(TcpTest, RttEstimateTracksPathDelay) {
-  TcpFixture f(622 * kMbit, 16u << 20, des::SimTime::milliseconds(5));
+  TcpFixture f(units::BitRate::mbps(622.0), units::Bytes{16u << 20},
+               des::SimTime::milliseconds(5));
   TcpConnection conn(f.a, f.b, 100, 200);
   bool done = false;
-  conn.send(0, 1u << 20, {}, [&](const std::any&, des::SimTime) { done = true; });
+  conn.send(0, units::Bytes{1u << 20}, {}, [&](const std::any&, des::SimTime) { done = true; });
   f.sched.run();
   EXPECT_TRUE(done);
   // Two 5 ms hops in each direction -> 20 ms round-trip propagation; the
@@ -177,12 +183,13 @@ TEST(TcpTest, LargerMssGivesHigherGoodputWithPerPacketCosts) {
   costs.per_byte_recv_ns = 0.5;
 
   auto goodput_with_mtu = [&](std::uint32_t mtu) {
-    TcpFixture f(622 * kMbit, 16u << 20, des::SimTime::microseconds(250),
-                 costs);
+    TcpFixture f(units::BitRate::mbps(622.0), units::Bytes{16u << 20},
+                 des::SimTime::microseconds(250), costs);
     TcpConfig cfg;
-    cfg.mss = mtu - kIpHeaderBytes - kTcpHeaderBytes;
-    cfg.recv_buffer = 4u << 20;
-    return run_bulk_transfer(f.sched, f.a, f.b, 16u << 20, cfg).goodput_bps;
+    cfg.mss = units::Bytes{mtu - kIpHeaderBytes - kTcpHeaderBytes};
+    cfg.recv_buffer = units::Bytes{4u << 20};
+    return run_bulk_transfer(f.sched, f.a, f.b, units::Bytes{16u << 20}, cfg)
+        .goodput.bps();
   };
   const double small = goodput_with_mtu(1500);
   const double large = goodput_with_mtu(9180);
@@ -195,7 +202,7 @@ TEST(TcpTest, DelayedAckStillCompletes) {
   cfg.delayed_ack = true;
   TcpConnection conn(f.a, f.b, 100, 200, cfg);
   bool delivered = false;
-  conn.send(0, 500'000, {}, [&](const std::any&, des::SimTime) {
+  conn.send(0, units::Bytes{500'000}, {}, [&](const std::any&, des::SimTime) {
     delivered = true;
   });
   f.sched.run();
@@ -232,11 +239,11 @@ TEST(TcpTest, BidirectionalDataSegmentsAreNotDuplicateAcks) {
   // a->b direction and a fast b->a direction, b's data segments repeat the
   // same cumulative ACK many times while a's data trickles in; counting
   // them as dup-ACKs fires spurious fast retransmits on a loss-free path.
-  TcpFixture f(/*bottleneck_bps=*/100 * kMbit);
+  TcpFixture f(/*bottleneck=*/units::BitRate::mbps(100.0));
   TcpConnection conn(f.a, f.b, 100, 200);
   bool d0 = false, d1 = false;
-  conn.send(0, 1u << 20, {}, [&](const std::any&, des::SimTime) { d0 = true; });
-  conn.send(1, 1u << 20, {}, [&](const std::any&, des::SimTime) { d1 = true; });
+  conn.send(0, units::Bytes{1u << 20}, {}, [&](const std::any&, des::SimTime) { d0 = true; });
+  conn.send(1, units::Bytes{1u << 20}, {}, [&](const std::any&, des::SimTime) { d1 = true; });
   f.sched.run();
   EXPECT_TRUE(d0);
   EXPECT_TRUE(d1);
@@ -255,44 +262,46 @@ TEST(TcpTest, ReceiverWindowShrinksWithOutOfOrderBacklog) {
   // buffer is the advertised window.  With the static-window bug the
   // sender pours the entire 64 KB buffer in out of order; with a window
   // that shrinks as the backlog grows it stalls near half.
-  TcpFixture f(622 * kMbit, 16u << 20, des::SimTime::milliseconds(10));
+  TcpFixture f(units::BitRate::mbps(622.0), units::Bytes{16u << 20},
+               des::SimTime::milliseconds(10));
   TcpConfig cfg;
-  cfg.recv_buffer = 64u << 10;
+  cfg.recv_buffer = units::Bytes{64u << 10};
   f.drop_nth_data_frame(30);  // sent at t = 29 * 13 ms = 377 ms
   f.silence_b_uplink(des::SimTime::milliseconds(420),   // pre-hole ACKs land
                      des::SimTime::milliseconds(700));
   TcpConnection conn(f.a, f.b, 100, 200, cfg);
   constexpr int kMessages = 120;
   std::uint64_t delivered_bytes = 0;
-  const std::uint64_t mss = cfg.mss;
+  const std::uint64_t mss = cfg.mss.count();
   for (int i = 0; i < kMessages; ++i) {
     f.sched.schedule_at(
         des::SimTime::milliseconds(13 * i), [&conn, &delivered_bytes, mss]() {
-          conn.send(0, mss, {},
+          conn.send(0, units::Bytes{mss}, {},
                     [&delivered_bytes, mss](const std::any&, des::SimTime) {
                       delivered_bytes += mss;
                     });
         });
   }
   f.sched.run();
-  EXPECT_EQ(delivered_bytes, std::uint64_t{kMessages} * cfg.mss);
-  EXPECT_EQ(conn.stats(0).bytes_acked, std::uint64_t{kMessages} * cfg.mss);
+  EXPECT_EQ(delivered_bytes, std::uint64_t{kMessages} * cfg.mss.count());
+  EXPECT_EQ(conn.stats(0).bytes_acked,
+            std::uint64_t{kMessages} * cfg.mss.count());
   // The backlog must be real (the outage bit) yet bounded by the shrinking
   // window: the static window lets it reach ~56 KB of the 64 KB buffer.
-  EXPECT_GT(conn.stats(1).max_ooo_bytes, 2ull * cfg.mss);
-  EXPECT_LE(conn.stats(1).max_ooo_bytes, (32u << 10) + cfg.mss);
+  EXPECT_GT(conn.stats(1).max_ooo_bytes, 2ull * cfg.mss.count());
+  EXPECT_LE(conn.stats(1).max_ooo_bytes, (32u << 10) + cfg.mss.count());
 }
 
 TEST(TcpTest, StatsAreConsistent) {
   TcpFixture f;
   TcpConnection conn(f.a, f.b, 100, 200);
-  conn.send(0, 1u << 20);
+  conn.send(0, units::Bytes{1u << 20});
   f.sched.run();
   const auto st = conn.stats(0);
   EXPECT_EQ(st.bytes_queued, 1u << 20);
   EXPECT_EQ(st.bytes_acked, 1u << 20);
   EXPECT_GE(st.segments_sent,
-            (1u << 20) / conn.config().mss);  // at least payload/mss segments
+            (1u << 20) / conn.config().mss.count());  // at least payload/mss segments
   EXPECT_EQ(st.timeouts, 0u);
 }
 

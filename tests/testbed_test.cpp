@@ -19,20 +19,21 @@ TEST(TestbedTest, BuildsAllPaperHosts) {
 }
 
 TEST(TestbedTest, WanRatesPerEra) {
-  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kOc48_1998}).wan_rate_bps(),
+  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kOc48_1998}).wan_rate().bps(),
               2.396e9, 2e7);
-  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kOc12_1997}).wan_rate_bps(),
+  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kOc12_1997}).wan_rate().bps(),
               5.99e8, 5e6);
-  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kBWin155}).wan_rate_bps(),
+  EXPECT_NEAR(Testbed(TestbedOptions{WanEra::kBWin155}).wan_rate().bps(),
               1.4976e8, 2e6);
 }
 
 TEST(TestbedTest, AttachmentRatesMatchFigure1) {
   Testbed tb(TestbedOptions{});
-  EXPECT_NEAR(tb.attachment_rate_bps("onyx2_gmd"), net::kOc12Line, 1.0);
-  EXPECT_NEAR(tb.attachment_rate_bps("scanner_frontend"), net::kOc3Line, 1.0);
-  EXPECT_NEAR(tb.attachment_rate_bps("t3e600"), net::kHippiRate, 1.0);
-  EXPECT_THROW(tb.attachment_rate_bps("nonexistent"), std::out_of_range);
+  EXPECT_NEAR(tb.attachment_rate("onyx2_gmd").bps(), net::kOc12Line.bps(), 1.0);
+  EXPECT_NEAR(tb.attachment_rate("scanner_frontend").bps(), net::kOc3Line.bps(),
+              1.0);
+  EXPECT_NEAR(tb.attachment_rate("t3e600").bps(), net::kHippiRate.bps(), 1.0);
+  EXPECT_THROW(tb.attachment_rate("nonexistent"), std::out_of_range);
 }
 
 // Reachability audit: a datagram between every ordered host pair arrives.
@@ -64,12 +65,12 @@ TEST(TestbedTest, CrayLocalHippiTcpExceeds430MbitAt64kMtu) {
   // used".
   Testbed tb(TestbedOptions{});
   net::TcpConfig cfg;
-  cfg.mss = net::kMtuHippi - 40;
-  cfg.recv_buffer = 2u << 20;
+  cfg.mss = net::kMtuHippi - units::Bytes{40};
+  cfg.recv_buffer = units::Bytes{2u << 20};
   const auto res = net::run_bulk_transfer(tb.scheduler(), tb.t3e600(),
-                                          tb.t3e1200(), 64u << 20, cfg);
-  EXPECT_GT(res.goodput_bps, 430e6);
-  EXPECT_LT(res.goodput_bps, 800e6);  // HiPPI line rate bound
+                                          tb.t3e1200(), units::Bytes{64u << 20}, cfg);
+  EXPECT_GT(res.goodput.bps(), 430e6);
+  EXPECT_LT(res.goodput.bps(), 800e6);  // HiPPI line rate bound
 }
 
 TEST(TestbedTest, T3eToSp2Around260MbitSp2Limited) {
@@ -78,12 +79,12 @@ TEST(TestbedTest, T3eToSp2Around260MbitSp2Limited) {
   // limitations of the I/O-system of the microchannel-based SP-nodes."
   Testbed tb(TestbedOptions{});
   net::TcpConfig cfg;
-  cfg.mss = tb.options().atm_mtu - 40;
-  cfg.recv_buffer = 4u << 20;
+  cfg.mss = tb.options().atm_mtu - units::Bytes{40};
+  cfg.recv_buffer = units::Bytes{4u << 20};
   const auto res = net::run_bulk_transfer(tb.scheduler(), tb.t3e600(),
-                                          tb.sp2(), 64u << 20, cfg);
-  EXPECT_GT(res.goodput_bps, 230e6);
-  EXPECT_LT(res.goodput_bps, 320e6);
+                                          tb.sp2(), units::Bytes{64u << 20}, cfg);
+  EXPECT_GT(res.goodput.bps(), 230e6);
+  EXPECT_LT(res.goodput.bps(), 320e6);
 }
 
 TEST(TestbedTest, WanUpgradeRaisesCrossSiteThroughput) {
@@ -92,14 +93,14 @@ TEST(TestbedTest, WanUpgradeRaisesCrossSiteThroughput) {
   auto throughput = [](WanEra era) {
     Testbed tb(TestbedOptions{era});
     net::TcpConfig cfg;
-    cfg.mss = tb.options().atm_mtu - 40;
+    cfg.mss = tb.options().atm_mtu - units::Bytes{40};
     // 1 MB socket buffers (1999-realistic) also keep slow-start overshoot
     // below the 4 MB switch buffers; larger windows trigger loss bursts
     // that this simplified Reno recovers from only via timeouts.
-    cfg.recv_buffer = 1u << 20;
+    cfg.recv_buffer = units::Bytes{1u << 20};
     return net::run_bulk_transfer(tb.scheduler(), tb.onyx2_juelich(),
-                                  tb.onyx2_gmd(), 64u << 20, cfg)
-        .goodput_bps;
+                                  tb.onyx2_gmd(), units::Bytes{64u << 20}, cfg)
+        .goodput.bps();
   };
   const double bwin = throughput(WanEra::kBWin155);
   const double oc12 = throughput(WanEra::kOc12_1997);

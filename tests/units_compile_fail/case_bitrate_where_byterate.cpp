@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: passing a line rate (bit/s) where a memory-system
+// bandwidth (byte/s) is expected — the historical 8x bug.  The bridge is
+// the named to_byte_rate().
+#include "units/units.hpp"
+
+double charge(gtw::units::ByteRate link_bandwidth) {
+  return link_bandwidth.per_sec();
+}
+
+int main() {
+  const auto line = gtw::units::BitRate::mbps(622.08);
+  return charge(line) > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: adding bits to bytes skips the factor of eight.  The
+// only bridge is the named Bytes::to_bits().
+#include "units/units.hpp"
+
+int main() {
+  using namespace gtw;
+  auto sum = units::Bits{800} + units::Bytes{100};
+  (void)sum;
+  return 0;
+}

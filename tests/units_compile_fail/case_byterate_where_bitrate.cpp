@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: the reverse confusion — a byte/s bandwidth handed to
+// an API that speaks bit/s.  Use to_bit_rate() explicitly.
+#include "units/units.hpp"
+
+gtw::units::BitRate wire(gtw::units::BitRate r) { return r; }
+
+int main() {
+  const auto mem = gtw::units::ByteRate::per_sec(300e6);
+  return wire(mem).bps() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: Bytes never converts to Bits implicitly; the factor
+// of eight must be visible as to_bits() at the conversion site.
+#include "units/units.hpp"
+
+int main() {
+  gtw::units::Bits on_wire = gtw::units::Bytes{9180};
+  (void)on_wire;
+  return 0;
+}

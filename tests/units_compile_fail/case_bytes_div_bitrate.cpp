@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: Bytes / BitRate has no meaning without choosing where
+// the factor of eight goes.  Serialization time is spelled either
+// transmission_time(bytes, rate) or bytes.to_bits() / rate.
+#include "units/units.hpp"
+
+int main() {
+  using namespace gtw;
+  const auto t = units::Bytes{1u << 20} / units::BitRate::mbps(622.08);
+  return t > des::SimTime::zero() ? 0 : 1;
+}

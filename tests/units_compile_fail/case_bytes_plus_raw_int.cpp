@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: header arithmetic must stay typed — a bare `40` could
+// be bits, cells or bytes, so Bytes only adds to Bytes.
+#include "units/units.hpp"
+
+int main() {
+  using namespace gtw;
+  auto mss = units::Bytes{9180} - 40;
+  (void)mss;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: cell packing is not a cast — 48-byte payloads plus an
+// AAL5 trailer make the mapping non-linear.  Use net::aal5_cells(Bytes).
+#include "units/units.hpp"
+
+int main() {
+  gtw::units::Cells c = gtw::units::Bytes{9180};
+  (void)c;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: a bare 622.08e6 carries no dimension; rates are
+// constructed through the named factories (BitRate::mbps(622.08)).
+#include "units/units.hpp"
+
+int main() {
+  gtw::units::BitRate line = 622.08e6;
+  (void)line;
+  return 0;
+}

@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: Bytes has an explicit constructor; an untyped integer
+// at an API boundary is exactly the bug class this layer removes.
+#include "units/units.hpp"
+
+gtw::units::Bytes mtu() { return 9180; }
+
+int main() { return static_cast<int>(mtu().count() & 0); }

@@ -1,0 +1,29 @@
+// Positive control for the negative-compilation harness: every conversion
+// the cases forbid, spelled the sanctioned way.  If this target stops
+// building, the WILL_FAIL cases are failing for toolchain reasons, not
+// because the type system rejected the mixing.
+#include "net/units.hpp"
+#include "units/units.hpp"
+
+int main() {
+  using namespace gtw;
+
+  // Typed amount arithmetic.
+  const units::Bytes mss = net::kMtuAtmDefault - units::Bytes{40};
+  const units::Bits wire = mss.to_bits();
+
+  // Named rate construction and the two explicit rate bridges.
+  const units::BitRate line = units::BitRate::mbps(622.08);
+  const units::ByteRate mem = line.to_byte_rate();
+  const units::BitRate back = mem.to_bit_rate();
+
+  // Cross-dimension arithmetic through the closed operator set.
+  const des::SimTime t = units::transmission_time(mss, line);
+  const units::Bits carried = line * t;
+  const units::Cells cells = net::aal5_cells(mss);
+
+  const bool ok = wire.count() == mss.count() * 8 &&
+                  back.bps() == line.bps() && carried.count() > 0 &&
+                  cells.count() > 0 && t > des::SimTime::zero();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// Boundary-conversion tests for the strong unit types (units/units.hpp)
+// and the typed constants in net/units.hpp.
+//
+// The bits/bytes audit for this change found no live mix-up in the tree —
+// every link_bandwidth / rate call site already agreed on its dimension —
+// so instead of regression tests for bugs, these cases lock each boundary
+// conversion to its exact pre-typed arithmetic: the typed layer is only
+// byte-identical with the seed benchmarks while every equality below is
+// an exact floating-point identity, not an approximation.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "des/time.hpp"
+#include "net/units.hpp"
+#include "units/units.hpp"
+
+namespace gtw {
+namespace {
+
+TEST(UnitsTest, BytesToBitsIsExactlyTimesEight) {
+  EXPECT_EQ(units::Bytes{9180}.to_bits().count(), 9180u * 8u);
+  EXPECT_EQ(units::Bytes::zero().to_bits().count(), 0u);
+  // Scaling by eight is exact in IEEE doubles too (power of two), which is
+  // what makes Bits / BitRate match transmission_time(Bytes, BitRate).
+  EXPECT_EQ(static_cast<double>(units::Bytes{622'080'001}.to_bits().count()),
+            static_cast<double>(622'080'001ull) * 8.0);
+}
+
+TEST(UnitsTest, AmountArithmeticStaysInDimension) {
+  const units::Bytes mss = net::kMtuAtmDefault - units::Bytes{40};
+  EXPECT_EQ(mss.count(), 9140u);
+  EXPECT_EQ((mss + units::Bytes{40}).count(), 9180u);
+  EXPECT_EQ((2ull * mss).count(), (mss * 2ull).count());
+  units::Bytes acc = units::Bytes::zero();
+  acc += mss;
+  acc -= units::Bytes{140};
+  EXPECT_EQ(acc.count(), 9000u);
+}
+
+TEST(UnitsTest, RateFactoriesMatchTheOldRawLiteralsBitForBit) {
+  // The typed constants replaced literals like `622.08 * 1e6` all over the
+  // tree; the replacement is only safe because these are the *same double*.
+  EXPECT_EQ(net::kOc3Line.bps(), 155.52 * 1e6);
+  EXPECT_EQ(net::kOc12Line.bps(), 622.08 * 1e6);
+  EXPECT_EQ(net::kOc48Line.bps(), 2488.32 * 1e6);
+  EXPECT_EQ(net::kHippiRate.bps(), 800.0 * 1e6);
+  EXPECT_EQ(units::BitRate::gbps(2.5).bps(), 2.5 * 1e9);
+  EXPECT_EQ(units::BitRate::kbps(64.0).bps(), 64.0 * 1e3);
+}
+
+TEST(UnitsTest, BitByteRateBridgesAreExactInverse) {
+  const units::BitRate line = net::kOc12Line;
+  // /8 and *8 are exact (exponent-only operations), so the round trip is
+  // an identity, not an approximation.
+  EXPECT_EQ(line.to_byte_rate().to_bit_rate().bps(), line.bps());
+  EXPECT_EQ(line.to_byte_rate().per_sec(), line.bps() / 8.0);
+  const units::ByteRate mem = units::ByteRate::per_sec(300e6);
+  EXPECT_EQ(mem.to_bit_rate().bps(), 2.4e9);
+}
+
+TEST(UnitsTest, TransmissionTimeMatchesTheUntypedDesHelper) {
+  const units::Bytes amount{64u << 20};
+  const units::BitRate rate = net::kOc12Line;
+  EXPECT_EQ(units::transmission_time(amount, rate).ps(),
+            des::transmission_time(amount.count(), rate.bps()).ps());
+  // Bits / BitRate takes the same ceil-to-picosecond path for whole bytes.
+  EXPECT_EQ((amount.to_bits() / rate).ps(),
+            units::transmission_time(amount, rate).ps());
+  // Bytes / ByteRate routes through the bit-rate bridge, exactly.
+  EXPECT_EQ((amount / rate.to_byte_rate()).ps(),
+            units::transmission_time(amount, rate).ps());
+}
+
+TEST(UnitsTest, RateTimesTimeAccumulatesRoundedAmounts) {
+  const des::SimTime second = des::SimTime::seconds(1.0);
+  EXPECT_EQ((net::kOc12Line * second).count(), 622'080'000u);
+  EXPECT_EQ((second * net::kOc12Line).count(), 622'080'000u);
+  EXPECT_EQ((units::ByteRate::per_sec(300e6) * second).count(), 300'000'000u);
+  // per() is the inverse direction: an amount each period.
+  EXPECT_EQ(units::per(units::Bits{622'080'000}, second).bps(), 622.08e6);
+}
+
+TEST(UnitsTest, OpsOverOpRateIsUnroundedSeconds) {
+  // Deliberately a double, not a SimTime: exec::time_on sums several of
+  // these before rounding once.
+  const double sec = units::Ops{46e6} / units::OpRate::per_sec(46e6);
+  EXPECT_EQ(sec, 1.0);
+  units::Ops w{1e6};
+  w *= 2.5;
+  w += units::Ops{5e5};
+  EXPECT_EQ(w.count(), 3e6);
+}
+
+TEST(UnitsTest, Aal5CellPackingTypedMatchesRaw) {
+  // 40 bytes + 8-byte trailer fill exactly one 48-byte cell payload.
+  EXPECT_EQ(net::aal5_cells(units::Bytes{40}).count(), 1u);
+  EXPECT_EQ(net::aal5_cells(units::Bytes{41}).count(), 2u);
+  // RFC 1577 MTU + LLC/SNAP, as the NIC frames it.
+  const units::Bytes pdu =
+      net::kMtuAtmDefault + units::Bytes{net::kLlcSnapBytes};
+  EXPECT_EQ(net::aal5_cells(pdu).count(), net::aal5_cells(9188u));
+  EXPECT_EQ(net::aal5_wire_bytes(pdu).count(),
+            net::aal5_cells(pdu).count() * net::kAtmCellBytes);
+}
+
+TEST(UnitsTest, FormattingCarriesTheUnit) {
+  EXPECT_EQ(net::kOc12Line.to_string(), "622.08 Mbit/s");
+  EXPECT_EQ(units::BitRate::gbps(2.48832).to_string(), "2.49 Gbit/s");
+  EXPECT_EQ(units::Bytes{9180}.to_string(), "9.0 KiB");
+  EXPECT_EQ(units::Bytes{64u << 20}.to_string(), "64.0 MiB");
+  EXPECT_EQ(units::Bytes{512}.to_string(), "512 B");
+  EXPECT_EQ(units::Cells{192}.to_string(), "192 cells");
+  EXPECT_EQ(units::Ops{46e6}.to_string(), "46.00 Mop");
+  EXPECT_EQ(units::OpRate::per_sec(46e6).to_string(), "46.00 Mop/s");
+  EXPECT_EQ(units::ByteRate::per_sec(300e6).to_string(), "300.00 MB/s");
+  EXPECT_EQ(units::Bits{622'080'000}.to_string(), "622.08 Mbit");
+}
+
+TEST(UnitsTest, WrappersAreZeroOverhead) {
+  static_assert(sizeof(units::Bytes) == sizeof(std::uint64_t));
+  static_assert(sizeof(units::BitRate) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<units::Bytes>);
+  static_assert(std::is_trivially_copyable_v<units::BitRate>);
+  // Ordering comes with the dimension, not by escaping it.
+  EXPECT_LT(net::kOc3Line, net::kOc12Line);
+  EXPECT_LT(units::Bytes{9140}, net::kMtuAtmDefault);
+  EXPECT_GT(units::Ops{2.0}, units::Ops{1.0});
+}
+
+}  // namespace
+}  // namespace gtw

@@ -84,7 +84,7 @@ TEST(MusicComputeModelTest, VectorMachineShortensTheScan) {
     const int ma = mc.add_machine(a);
     const int mb = mc.add_machine(b);
     net::TcpConfig cfg;
-    cfg.mss = tb.options().atm_mtu - 40;
+    cfg.mss = tb.options().atm_mtu - units::Bytes{40};
     mc.link_machines(ma, mb, cfg, 7000);
     auto comm = std::make_shared<meta::Communicator>(
         mc, std::vector<meta::ProcLoc>{{ma, 0}, {ma, 1}, {mb, 0}, {mb, 1}});

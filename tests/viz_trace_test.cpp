@@ -19,27 +19,27 @@ TEST(WorkbenchFormatTest, FrameBytesMatchPaper) {
   // "two projection planes, each of them displays stereo images of
   // 1024x768 true color (24 Bit) pixels" = 2 x 2 x 1024 x 768 x 3 bytes.
   viz::WorkbenchFormat fmt;
-  EXPECT_EQ(fmt.frame_bytes(), 2ull * 2 * 1024 * 768 * 3);
+  EXPECT_EQ(fmt.frame_bytes().count(), 2ull * 2 * 1024 * 768 * 3);
 }
 
 TEST(ClassicalIpFpsTest, Below8FpsAt622AsPaperStates) {
   viz::WorkbenchFormat fmt;
-  const double fps = viz::classical_ip_fps(fmt, 622.08e6);
+  const double fps = viz::classical_ip_fps(fmt, net::kOc12Line);
   EXPECT_LT(fps, 8.0);
   EXPECT_GT(fps, 6.0);  // but not absurdly below
 }
 
 TEST(ClassicalIpFpsTest, ScalesWithLinkRate) {
   viz::WorkbenchFormat fmt;
-  const double f622 = viz::classical_ip_fps(fmt, 622.08e6);
-  const double f2400 = viz::classical_ip_fps(fmt, 2488.32e6);
+  const double f622 = viz::classical_ip_fps(fmt, net::kOc12Line);
+  const double f2400 = viz::classical_ip_fps(fmt, net::kOc48Line);
   EXPECT_NEAR(f2400 / f622, 4.0, 0.05);
 }
 
 TEST(ClassicalIpFpsTest, LargerMtuHelpsSlightly) {
   viz::WorkbenchFormat fmt;
-  const double small = viz::classical_ip_fps(fmt, 622.08e6, 9180);
-  const double large = viz::classical_ip_fps(fmt, 622.08e6, 65535);
+  const double small = viz::classical_ip_fps(fmt, net::kOc12Line, units::Bytes{9180});
+  const double large = viz::classical_ip_fps(fmt, net::kOc12Line, units::Bytes{65535});
   EXPECT_GT(large, small);
   EXPECT_LT(large / small, 1.10);  // cell tax dominates, headers are minor
 }
@@ -106,10 +106,10 @@ TEST(TraceTest, StateTimesAttributed) {
 
 TEST(TraceTest, MessageMatrix) {
   trace::TraceRecorder rec(3);
-  rec.send(0, 1, 5, 1000, des::SimTime::seconds(0.1));
-  rec.send(0, 1, 5, 2000, des::SimTime::seconds(0.2));
-  rec.send(2, 0, 9, 512, des::SimTime::seconds(0.3));
-  rec.recv(1, 0, 5, 1000, des::SimTime::seconds(0.4));
+  rec.send(0, 1, 5, units::Bytes{1000}, des::SimTime::seconds(0.1));
+  rec.send(0, 1, 5, units::Bytes{2000}, des::SimTime::seconds(0.2));
+  rec.send(2, 0, 9, units::Bytes{512}, des::SimTime::seconds(0.3));
+  rec.recv(1, 0, 5, units::Bytes{1000}, des::SimTime::seconds(0.4));
 
   trace::TraceStats stats(rec);
   EXPECT_EQ(stats.messages(0, 1), 2u);
@@ -130,7 +130,7 @@ TEST(TraceTest, BinaryRoundTrip) {
     rec.leave(static_cast<std::uint32_t>(i % 4), i % 2 ? s1 : s2,
               des::SimTime::milliseconds(i + 1));
     rec.send(static_cast<std::uint32_t>(i % 4),
-             static_cast<std::uint32_t>((i + 1) % 4), 7, 100u + i,
+             static_cast<std::uint32_t>((i + 1) % 4), 7, units::Bytes{100u + i},
              des::SimTime::milliseconds(i));
   }
   std::stringstream buf;
@@ -166,7 +166,7 @@ std::string good_trace_bytes() {
   const auto w = rec.define_state("work");
   rec.enter(0, w, des::SimTime::seconds(1.0));
   rec.leave(0, w, des::SimTime::seconds(2.0));
-  rec.send(1, 0, 5, 4096, des::SimTime::seconds(1.5));
+  rec.send(1, 0, 5, units::Bytes{4096}, des::SimTime::seconds(1.5));
   std::stringstream buf;
   rec.write(buf);
   return buf.str();
@@ -285,7 +285,7 @@ TEST(TraceTest, ProfileMentionsStatesAndMessages) {
   const auto s = rec.define_state("work");
   rec.enter(0, s, des::SimTime::seconds(0.0));
   rec.leave(0, s, des::SimTime::seconds(2.5));
-  rec.send(0, 0, 1, 42, des::SimTime::seconds(1.0));
+  rec.send(0, 0, 1, units::Bytes{42}, des::SimTime::seconds(1.0));
   trace::TraceStats stats(rec);
   const std::string p = stats.profile();
   EXPECT_NE(p.find("work"), std::string::npos);

@@ -1,0 +1,18 @@
+// Fixture: rule unitless-size-param must fire on raw byte-count
+// parameters crossing a net API (this file sits under net/ on purpose —
+// the rule only guards that boundary).  Struct fields and non-byte
+// integers stay silent.  Not compiled — lint fixture only.
+#include <cstdint>
+
+namespace fakenet {
+
+void send(int dst, std::uint64_t bytes);                 // finding
+void enqueue(std::uint32_t wire_bytes, int vc);          // finding
+
+struct Packet {
+  std::uint64_t total_bytes = 0;  // field, not a parameter: silent
+};
+
+void route(int dst, int hops);  // no byte count: silent
+
+}  // namespace fakenet

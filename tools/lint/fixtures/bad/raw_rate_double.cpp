@@ -1,0 +1,23 @@
+// Fixture: rule raw-rate-double must fire on every raw rate below — the
+// _bps/_Bps declaration form and the bare e6/e9 literal form.  Dividing by
+// 1e6 to pretty-print, and reading a typed rate out via .bps(), must stay
+// silent.  Not compiled — lint fixture only.
+
+struct LinkModel {
+  double rate_bps = 622.08e6;         // finding: decl
+  float budget_Bps = 0.0f;            // finding: decl
+};
+
+void configure(LinkModel& m) {
+  m.rate_bps = 155.52 * 1e6;          // finding: literal forms a rate
+  double line_rate = 2.4883e9;        // finding: literal forms a rate
+  (void)line_rate;
+}
+
+struct TypedRate {
+  double bps() const { return 0.0; }
+};
+
+double print_mbit(const TypedRate& r) {
+  return r.bps() / 1e6;  // accessor read + formatting divide: silent
+}

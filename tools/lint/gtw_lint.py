@@ -34,6 +34,20 @@ machine-checked source rules:
                         Scheduling before the current DES clock corrupts the
                         event order invariant (the runtime assert is the
                         backstop; this catches it at review time).
+  raw-rate-double       A `double`/`float` variable suffixed _bps/_Bps, or a
+                        bare e6/e9 scientific literal forming a rate on a
+                        line that talks about rates/bandwidth, outside
+                        src/units/.  Raw rate doubles are how the bits-vs-
+                        bytes confusion this repo's unit types eliminate
+                        creeps back in; construct a units::BitRate /
+                        units::ByteRate instead (BitRate::mbps(622.08), not
+                        622.08e6).
+  unitless-size-param   A function parameter spelled `uint32_t/uint64_t
+                        ...bytes...` in src/net/.  Sizes crossing the net
+                        API boundary must be units::Bytes so byte counts
+                        cannot be mistaken for bit counts (or cells) at a
+                        call site; raw integers stay legal inside packet
+                        structs and private arithmetic.
 
 Suppression: append `// gtw-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place it alone on the line above.  Allowlist annotations
@@ -82,6 +96,27 @@ POINTER_ORDER_RE = re.compile(
 PAST_SCHEDULE_RE = re.compile(
     r"\bschedule_after\s*\(\s*-"
     r"|\bschedule_at\s*\(\s*(?:[\w.\->]*\s*)?now\s*\(\s*\)\s*-")
+
+# raw-rate-double: a floating declaration whose name admits it holds a rate.
+RAW_RATE_DECL_RE = re.compile(r"\b(?:double|float)\s+\w*_(?:bps|Bps)\b")
+# ...or a rate formed from a bare scientific literal: `* 1e6` / `* 1e9`
+# scaling, or a full literal like 622.08e6 / 8e9.  Plain 1e6/1e9 alone is
+# not matched so `x / 1e6` pretty-printing stays legal.
+RAW_RATE_LIT_RE = re.compile(
+    r"\*\s*1e[69]\b"
+    r"|(?<![\w.])(?!1e[69]\b)\d+(?:\.\d+)?e[69]\b")
+RATE_CONTEXT_RE = re.compile(
+    r"rate|bandwidth|bps|goodput|throughput|line", re.IGNORECASE)
+# A line already speaking the typed vocabulary is constructing, not
+# evading — and reading a typed rate out through .bps()/.mbps()/.gbps()
+# (to compare against an expected figure, or to print) is the sanctioned
+# exit from the type system.
+TYPED_RATE_RE = re.compile(
+    r"\b(?:BitRate|ByteRate|OpRate)\b|\bunits\s*::"
+    r"|\.\s*(?:k|m|g)?bps\s*\(")
+
+UNITLESS_SIZE_PARAM_RE = re.compile(
+    r"[(,]\s*(?:std\s*::\s*)?uint(?:32|64)_t\s+\w*bytes\w*")
 
 
 @dataclass
@@ -191,6 +226,11 @@ def check_file(path: str, relpath: str) -> list[Finding]:
     # legitimately name clocks.
     entropy_exempt = in_module(relpath, "des/random")
     clock_exempt = in_module(relpath, "des/time", "des/random")
+    # src/units/ defines the unit types themselves and so legitimately
+    # multiplies by 1e6/1e9 inside the factories.
+    rate_exempt = in_module(relpath, "src/units", "units/units")
+    # unitless-size-param guards the net API boundary only.
+    net_boundary = in_module(relpath, "net/")
 
     unordered_names: set[str] = set()
     for lineno, line in enumerate(code, start=1):
@@ -235,12 +275,30 @@ def check_file(path: str, relpath: str) -> list[Finding]:
             report(lineno, "past-schedule",
                    "event scheduled before the current DES clock; targets "
                    "must be >= now()")
+        if not rate_exempt:
+            if RAW_RATE_DECL_RE.search(line):
+                report(lineno, "raw-rate-double",
+                       "raw floating-point rate variable; use units::BitRate"
+                       " / units::ByteRate so bits and bytes cannot be "
+                       "confused at a call site")
+            elif (RAW_RATE_LIT_RE.search(line)
+                  and RATE_CONTEXT_RE.search(line)
+                  and not TYPED_RATE_RE.search(line)):
+                report(lineno, "raw-rate-double",
+                       "bare e6/e9 literal forming a rate; construct it "
+                       "through units::BitRate::mbps()/gbps() (or the named "
+                       "net::kOc*Line constants) instead")
+        if net_boundary and UNITLESS_SIZE_PARAM_RE.search(line):
+            report(lineno, "unitless-size-param",
+                   "unitless byte-count parameter on a net API; take "
+                   "units::Bytes so the caller cannot pass bits or cells")
     return findings
 
 
 RULES = [
     "unordered-container", "unordered-iter", "raw-entropy", "wall-clock",
-    "pointer-order", "past-schedule",
+    "pointer-order", "past-schedule", "raw-rate-double",
+    "unitless-size-param",
 ]
 
 

@@ -30,6 +30,8 @@ EXPECTATIONS = {
     "bad/wall_clock.cpp": {"wall-clock": 3},
     "bad/pointer_order.cpp": {"pointer-order": 3},
     "bad/past_schedule.cpp": {"past-schedule": 2},
+    "bad/raw_rate_double.cpp": {"raw-rate-double": 4},
+    "bad/net/unitless_size_param.cpp": {"unitless-size-param": 2},
     "clean/clean.cpp": {},
     "clean/allowed.cpp": {},
 }
