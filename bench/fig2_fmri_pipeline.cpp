@@ -11,10 +11,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string_view>
 
 #include "fire/pipeline.hpp"
+#include "obs/exporter.hpp"
+#include "obs/instrument.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "scanner/phantom.hpp"
 #include "testbed/testbed.hpp"
+#include "trace/trace.hpp"
 #include "viz/merge.hpp"
 #include "viz/workbench.hpp"
 
@@ -22,7 +28,7 @@ namespace {
 
 using namespace gtw;
 
-void print_fig2() {
+void print_fig2(bool with_trace) {
   std::printf("== Figure 2: distributed realtime-fMRI pipeline ==\n");
   testbed::Testbed tb{testbed::TestbedOptions{}};
 
@@ -47,6 +53,31 @@ void print_fig2() {
       tb.scheduler(),
       {&tb.scanner_frontend(), &tb.gw_o200(), &tb.onyx2_juelich()}, cfg,
       [&gen](int t) { return gen.acquire(t); }, &engine);
+
+  // --trace: record a VAMPIR-style stage trace and attach the observability
+  // registry.  Everything here is read-only probes plus sampler ticks, so
+  // the pipeline results (and BENCH_*.json) are unchanged by tracing.
+  trace::TraceRecorder rec(4);  // transfer / compute / return / display
+  obs::Registry reg;
+  obs::TimeSeriesSampler sampler(tb.scheduler(), reg);
+  if (with_trace) {
+    pipe.attach_trace(&rec);
+    obs::instrument_link(reg, tb.wan_link_j_to_g(), "net.link.wan_j_to_g");
+    obs::instrument_link(reg, tb.wan_link_g_to_j(), "net.link.wan_g_to_j");
+    obs::instrument_host(reg, tb.scanner_frontend());
+    obs::instrument_host(reg, tb.gw_o200());
+    obs::instrument_host(reg, tb.onyx2_juelich());
+    obs::instrument_atm_switch(reg, tb.atm_juelich());
+    obs::instrument_atm_switch(reg, tb.atm_gmd());
+    obs::bridge_flow_metrics(reg, pipe.metrics(), "fire");
+    sampler.watch("net.link.wan_j_to_g.queue_bytes");
+    sampler.watch("net.link.wan_j_to_g.utilization");
+    sampler.watch_prefix("fire.stage.");
+    sampler.watch("fire.graph.completed");
+    sampler.sample_every(des::SimTime::milliseconds(500),
+                         des::SimTime::seconds(50));
+  }
+
   pipe.start();
   tb.scheduler().run();
 
@@ -110,6 +141,35 @@ void print_fig2() {
   json.flush();
   std::printf(json ? "[wrote BENCH_fig2_fmri_pipeline.json]\n\n"
                    : "[failed to write BENCH_fig2_fmri_pipeline.json]\n\n");
+
+  if (with_trace) {
+    {
+      std::ofstream gtwt("OBS_fig2_fmri_pipeline.trace.gtwt",
+                         std::ios::binary);
+      rec.write(gtwt);
+    }
+    {
+      std::ofstream chrome("OBS_fig2_fmri_pipeline.chrome.json",
+                           std::ios::binary);
+      obs::ChromeTraceOptions copts;
+      copts.process_name = "fig2_fmri_pipeline";
+      copts.series = &sampler;
+      copts.marks_from = &reg;
+      obs::write_chrome_trace(chrome, rec, copts);
+    }
+    {
+      std::ofstream metrics("OBS_fig2_fmri_pipeline.metrics.json",
+                            std::ios::binary);
+      obs::write_metrics_json(metrics, reg, "fig2_fmri_pipeline");
+    }
+    {
+      std::ofstream series("OBS_fig2_fmri_pipeline.series.json",
+                           std::ios::binary);
+      obs::write_series_json(series, sampler);
+    }
+    std::printf("[wrote OBS_fig2_fmri_pipeline.{trace.gtwt,chrome.json,"
+                "metrics.json,series.json}]\n\n");
+  }
 }
 
 void BM_AnalysisScan(benchmark::State& state) {
@@ -129,7 +189,18 @@ BENCHMARK(BM_AnalysisScan)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig2();
+  // Strip our own --trace flag before google-benchmark sees the arguments.
+  bool with_trace = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace") {
+      with_trace = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  print_fig2(with_trace);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,6 +16,10 @@
 #include "fire/pipeline.hpp"
 #include "net/fault.hpp"
 #include "net/tcp.hpp"
+#include "obs/exporter.hpp"
+#include "obs/instrument.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {
@@ -57,7 +61,10 @@ struct FireRow {
 
 // The paper's pipeline with results displayed across the WAN (compute in
 // Juelich, RT-client at the GMD); the outage starts mid-run at t = 15 s.
-FireRow run_fire(double outage_s) {
+// With emit_obs set, one run additionally carries the observability layer
+// (read-only probes + sampler ticks — results are unchanged) and exports
+// OBS_r1_fault_recovery.{metrics,series}.json.
+FireRow run_fire(double outage_s, bool emit_obs = false) {
   testbed::Testbed tb{testbed::TestbedOptions{}};
   fire::PipelineConfig cfg;
   cfg.n_scans = 20;
@@ -70,12 +77,42 @@ FireRow run_fire(double outage_s) {
   plan.add_observer([&](const net::FaultEvent&, bool) {
     pipe.graph().set_degraded(plan.any_active());
   });
+
+  obs::Registry reg;
+  obs::TimeSeriesSampler sampler(tb.scheduler(), reg);
+  if (emit_obs) {
+    obs::instrument_link(reg, tb.wan_link_j_to_g(), "net.link.wan_j_to_g");
+    obs::instrument_link(reg, tb.wan_link_g_to_j(), "net.link.wan_g_to_j");
+    obs::instrument_host(reg, tb.gw_o200());
+    obs::bridge_flow_metrics(reg, pipe.metrics(), "fire");
+    obs::attach_fault_plan(reg, plan);
+    sampler.watch("fault.active");
+    sampler.watch("net.link.wan_j_to_g.queue_bytes");
+    sampler.watch("fire.graph.completed");
+    sampler.watch("fire.graph.degraded_dropped");
+    sampler.sample_every(des::SimTime::milliseconds(500),
+                         des::SimTime::seconds(70));
+  }
+
   if (outage_s > 0.0) {
     plan.link_down(tb.wan_link_j_to_g(), des::SimTime::seconds(15),
                    des::SimTime::seconds(outage_s));
   }
   pipe.start();
   tb.scheduler().run();
+
+  if (emit_obs) {
+    {
+      std::ofstream metrics("OBS_r1_fault_recovery.metrics.json",
+                            std::ios::binary);
+      obs::write_metrics_json(metrics, reg, "r1_fault_recovery outage=2s");
+    }
+    {
+      std::ofstream series("OBS_r1_fault_recovery.series.json",
+                           std::ios::binary);
+      obs::write_series_json(series, sampler);
+    }
+  }
 
   const auto& m = pipe.metrics();
   return {m.last_recovery_time.sec(), m.degraded_time.sec(),
@@ -94,7 +131,9 @@ void print_r1() {
   bool first = true;
   for (double outage : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     const TcpRow t = run_tcp(outage);
-    const FireRow f = run_fire(outage);
+    // The 2 s row doubles as the observability showcase; the probes are
+    // read-only, so its numbers match an uninstrumented run exactly.
+    const FireRow f = run_fire(outage, /*emit_obs=*/outage == 2.0);
     std::printf("%9.1f | %10.3f / %5llu / %3llu | %10.3f / %7llu / %4llu\n",
                 outage, t.transfer_s,
                 static_cast<unsigned long long>(t.retransmits),

@@ -44,6 +44,19 @@ std::string MetricsRegistry::report() const {
   os << "graph: pushed " << pushed << ", admitted " << admitted
      << ", superseded " << admission_dropped << ", completed " << completed
      << "\n";
+  // Degradation accounting, in the same key=value spirit (and the same
+  // second-denominated units) as the obs metric snapshot names
+  // fire.graph.degraded_* — previously accumulated but never reported.
+  if (degraded_spans > 0 || degraded_dropped > 0 || recoveries > 0) {
+    std::snprintf(line, sizeof line,
+                  "graph: degraded_spans %llu, degraded_dropped %llu, "
+                  "recoveries %llu, degraded_s %.3f, last_recovery_s %.3f\n",
+                  static_cast<unsigned long long>(degraded_spans),
+                  static_cast<unsigned long long>(degraded_dropped),
+                  static_cast<unsigned long long>(recoveries),
+                  degraded_time.sec(), last_recovery_time.sec());
+    os << line;
+  }
   return os.str();
 }
 

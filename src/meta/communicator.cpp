@@ -36,6 +36,9 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
   const ProcLoc& dst = location(dst_rank);
   ++messages_sent_;
   bytes_sent_ += bytes;
+  PeerStats& peer = peer_traffic_[{src_rank, dst_rank}];
+  ++peer.messages;
+  peer.bytes += bytes;
   tracer_.send(static_cast<std::uint32_t>(src_rank),
                static_cast<std::uint32_t>(dst_rank),
                static_cast<std::uint32_t>(tag), units::Bytes{bytes},
@@ -90,6 +93,7 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
       return;
     }
     ++reliability_.wan_retries;
+    ++peer_traffic_[{st->src_rank, st->dst_rank}].retries;
     st->next_timeout =
         des::SimTime::seconds(st->next_timeout.sec() * retry_.backoff);
     wan_attempt(st);

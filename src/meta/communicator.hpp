@@ -159,6 +159,17 @@ class Communicator {
   };
   const ReliabilityStats& reliability() const { return reliability_; }
 
+  // Per-(src rank, dst rank) point-to-point accounting, for the per-peer
+  // breakdown the obs layer exports (collectives are not attributed here).
+  struct PeerStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t retries = 0;  // watchdog resends on this pair
+  };
+  const std::map<std::pair<int, int>, PeerStats>& peer_traffic() const {
+    return peer_traffic_;
+  }
+
  private:
   struct PostedRecv {
     int source;
@@ -212,6 +223,7 @@ class Communicator {
                 gather_seq_ = 0, scatter_seq_ = 0, alltoall_seq_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::map<std::pair<int, int>, PeerStats> peer_traffic_;
   RetryPolicy retry_;
   bool retry_enabled_ = false;
   UnreachableCallback unreachable_;

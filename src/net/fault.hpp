@@ -31,7 +31,7 @@ struct FaultEvent {
   des::SimTime at;
   des::SimTime duration;
   double ber = 0.0;                // kBerBurst
-  units::Bytes queue_limit;        // kBufferSqueeze
+  units::Bytes queue_limit{};      // kBufferSqueeze
 };
 
 const char* to_string(FaultEvent::Kind kind);

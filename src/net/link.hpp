@@ -68,6 +68,8 @@ class Link {
   const std::string& name() const { return name_; }
   const Config& config() const { return cfg_; }
 
+  std::uint64_t queue_bytes() const { return queued_bytes_; }
+  std::size_t queue_frames() const { return queue_.size(); }
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t drops() const { return drops_; }

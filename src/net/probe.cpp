@@ -22,11 +22,12 @@ EchoResponder::EchoResponder(Host& host, std::uint16_t port)
 EchoResponder::~EchoResponder() { host_.unbind(IpProto::kUdp, port_); }
 
 Pinger::Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
-               units::Bytes payload, des::SimTime interval)
+               units::Bytes payload, des::SimTime interval,
+               des::SimTime timeout)
     : src_(src), dst_(dst), dst_port_(dst_port),
       src_port_(static_cast<std::uint16_t>(40000 + dst_port)), count_(count),
       payload_(static_cast<std::uint32_t>(payload.count())),
-      interval_(interval) {}
+      interval_(interval), timeout_after_(timeout) {}
 
 Pinger::~Pinger() {
   src_.unbind(IpProto::kUdp, src_port_);
@@ -52,7 +53,7 @@ void Pinger::start(std::function<void(const PingReport&)> done) {
 void Pinger::send_next() {
   if (report_.sent >= count_) {
     // Grace timeout for stragglers.
-    timeout_ = src_.scheduler().schedule_after(des::SimTime::seconds(1.0),
+    timeout_ = src_.scheduler().schedule_after(timeout_after_,
                                                [this]() { finish(); });
     return;
   }
@@ -72,6 +73,8 @@ void Pinger::send_next() {
 
 void Pinger::finish() {
   timeout_.cancel();
+  report_.timeouts = static_cast<int>(outstanding_.size());
+  outstanding_.clear();
   if (done_) {
     auto cb = std::move(done_);
     done_ = nullptr;

@@ -35,17 +35,19 @@ class EchoResponder {
 struct PingReport {
   int sent = 0;
   int received = 0;
+  int timeouts = 0;  // probes still unanswered when the run finished
   des::RunningStats rtt_ms;
 };
 
 // Sends `count` probes of `payload` bytes from `src` to the EchoResponder
 // on (`dst`, `dst_port`), one every `interval`; `done` fires after the
-// last reply arrives or a per-probe timeout of 1 s passes.
+// last reply arrives or the probe `timeout` grace period passes.
 class Pinger {
  public:
   Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
          units::Bytes payload = units::Bytes{56},
-         des::SimTime interval = des::SimTime::milliseconds(10));
+         des::SimTime interval = des::SimTime::milliseconds(10),
+         des::SimTime timeout = des::SimTime::seconds(1.0));
   ~Pinger();
   Pinger(const Pinger&) = delete;
   Pinger& operator=(const Pinger&) = delete;
@@ -63,6 +65,7 @@ class Pinger {
   int count_;
   std::uint32_t payload_;
   des::SimTime interval_;
+  des::SimTime timeout_after_;
   PingReport report_;
   std::map<std::uint32_t, des::SimTime> outstanding_;  // seq -> sent time
   std::uint32_t next_seq_ = 0;

@@ -280,6 +280,7 @@ void TcpConnection::process_ack(int side, const SegMeta& m) {
     // RFC 5681: only segments carrying *no data* count as duplicate ACKs;
     // the peer's data segments repeat the cumulative ACK as a side effect
     // and must not trigger fast retransmit on bidirectional transfers.
+    ++e.stats.dup_acks;
     if (++e.dupacks == 3) {
       // Fast retransmit + multiplicative decrease.
       ++e.stats.fast_retransmits;
@@ -310,6 +311,8 @@ TcpConnection::Stats TcpConnection::stats(int side) const {
   Stats s = ep_[side].stats;
   s.cwnd_bytes = ep_[side].cwnd;
   s.srtt_ms = ep_[side].srtt_s * 1e3;
+  s.ssthresh_bytes = ep_[side].ssthresh;
+  s.rto_ms = ep_[side].rto.ms();
   return s;
 }
 

@@ -67,8 +67,12 @@ class TcpConnection {
     // the cost of a sender retransmitting into an occupied buffer.
     std::uint64_t max_ooo_bytes = 0;
     std::uint64_t dup_segments_received = 0;
+    // Every duplicate ACK counted (fast retransmit fires on the third).
+    std::uint64_t dup_acks = 0;
     double srtt_ms = -1.0;
     double cwnd_bytes = 0.0;
+    double ssthresh_bytes = 0.0;
+    double rto_ms = 0.0;
   };
   Stats stats(int side) const;
 

@@ -1,0 +1,80 @@
+// Instrumentation bridges: wire the simulator's components into an
+// obs::Registry without those components depending on obs.
+//
+// Two attachment styles, both passive:
+//
+//  - instrument_* register read-only probes (evaluated at snapshot/sample
+//    time) over a live component's existing accessors — the component is
+//    observed, never modified, and nothing is scheduled, so attaching
+//    instrumentation cannot perturb the DES schedule or any result;
+//  - bridge_* copy values that only exist as aggregates (per-peer traffic,
+//    per-stage totals discovered during the run) into counters, and are
+//    called once before export.
+//
+// attach_fault_plan is the one active hook: it registers a FaultPlan
+// observer that counts begin/end transitions and drops a Mark per
+// transition so outages show up as instant events in the Chrome trace.
+//
+// Lifetime: probes capture references; the instrumented component must
+// outlive the Registry (or at least every snapshot taken from it).
+#pragma once
+
+#include <string>
+
+#include "flow/metrics.hpp"
+#include "meta/communicator.hpp"
+#include "net/atm.hpp"
+#include "net/fault.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/tcp.hpp"
+#include "obs/registry.hpp"
+
+namespace gtw::obs {
+
+// net.link.<name>.{tx_frames,tx_bytes,drops,dropped_bytes,corrupted_frames,
+// outage_drops,queue_bytes,queue_mean_bytes,utilization}; pass `prefix` to
+// override the default "net.link.<name>" (the ATM switch instruments its
+// port links under its own hierarchy).
+void instrument_link(Registry& reg, const net::Link& link,
+                     const std::string& prefix = "");
+
+// net.host.<name>.{packets_sent,packets_received,packets_forwarded,
+// unroutable_drops,outage_drops,up}
+void instrument_host(Registry& reg, const net::Host& host);
+
+// net.atm.<name>.unroutable_drops plus every egress port's link under
+// net.atm.<name>.port<i>.* — the switch-buffer visibility the testbed
+// operators lacked when the shared ASX-4000 buffers were squeezed.
+void instrument_atm_switch(Registry& reg, net::AtmSwitch& sw);
+
+// tcp.<name>.<side>.{cwnd_bytes,ssthresh_bytes,srtt_ms,rto_ms,segments_sent,
+// acks_sent,bytes_acked,retransmits,fast_retransmits,timeouts,dup_acks,
+// dup_segments_received,max_ooo_bytes} for side 0 and 1.
+void instrument_tcp(Registry& reg, const net::TcpConnection& conn,
+                    const std::string& name);
+
+// meta.<name>.{messages_sent,bytes_sent,wan_retries,duplicates_suppressed,
+// unreachable_reports}
+void instrument_communicator(Registry& reg, const meta::Communicator& comm,
+                             const std::string& name);
+
+// meta.<name>.peer.<src>_to_<dst>.{messages,bytes,retries} for every rank
+// pair that exchanged point-to-point traffic; call after (or late in) the
+// run, before exporting.
+void bridge_communicator_peers(Registry& reg, const meta::Communicator& comm,
+                               const std::string& name);
+
+// <prefix>.stage.<stage>.{items_in,items_out,dropped,queue_depth,queue_peak,
+// busy_ps,occupancy,throughput_per_s} per stage present at call time, plus
+// <prefix>.graph.{pushed,admitted,admission_dropped,completed,admission_peak,
+// degraded_spans,degraded_dropped,recoveries,degraded_ps,last_recovery_ps}.
+void bridge_flow_metrics(Registry& reg, const flow::MetricsRegistry& metrics,
+                         const std::string& prefix);
+
+// Counts fault begin/end transitions per kind under <prefix>.* , probes the
+// number of currently active faults, and records a Mark per transition.
+void attach_fault_plan(Registry& reg, net::FaultPlan& plan,
+                       const std::string& prefix = "fault");
+
+}  // namespace gtw::obs

@@ -1,0 +1,128 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gtw::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::logic_error("obs: histogram needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::logic_error("obs: histogram bounds must be sorted ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += x;
+}
+
+Registry::Instrument& Registry::define(const std::string& name, Kind kind) {
+  if (name.empty()) throw std::logic_error("obs: empty instrument name");
+  auto [it, inserted] = instruments_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs: instrument name collision on '" + name +
+                           "' (existing kind differs)");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Instrument& ins = define(name, Kind::kCounter);
+  if (ins.counter_fn)
+    throw std::logic_error("obs: '" + name + "' is a probe, not a counter");
+  return ins.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Instrument& ins = define(name, Kind::kGauge);
+  if (ins.gauge_fn)
+    throw std::logic_error("obs: '" + name + "' is a probe, not a gauge");
+  return ins.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  Instrument& ins = define(name, Kind::kHistogram);
+  if (!ins.hist) ins.hist = std::make_unique<Histogram>(std::move(bounds));
+  return *ins.hist;
+}
+
+void Registry::probe_counter(const std::string& name,
+                             std::function<std::uint64_t()> fn) {
+  auto [it, inserted] = instruments_.try_emplace(name);
+  if (!inserted)
+    throw std::logic_error("obs: instrument name collision on '" + name +
+                           "' (probe over existing instrument)");
+  it->second.kind = Kind::kCounter;
+  it->second.counter_fn = std::move(fn);
+}
+
+void Registry::probe_gauge(const std::string& name,
+                           std::function<double()> fn) {
+  auto [it, inserted] = instruments_.try_emplace(name);
+  if (!inserted)
+    throw std::logic_error("obs: instrument name collision on '" + name +
+                           "' (probe over existing instrument)");
+  it->second.kind = Kind::kGauge;
+  it->second.gauge_fn = std::move(fn);
+}
+
+void Registry::mark(const std::string& name, des::SimTime t, bool begin) {
+  marks_.push_back(Mark{t, name, begin});
+}
+
+bool Registry::contains(const std::string& name) const {
+  return instruments_.find(name) != instruments_.end();
+}
+
+double Registry::read(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end())
+    throw std::out_of_range("obs: unknown instrument '" + name + "'");
+  const Instrument& ins = it->second;
+  switch (ins.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(ins.counter_fn ? ins.counter_fn()
+                                                : ins.counter.value());
+    case Kind::kGauge:
+      return ins.gauge_fn ? ins.gauge_fn() : ins.gauge.value();
+    case Kind::kHistogram:
+      return static_cast<double>(ins.hist->count());
+  }
+  return 0.0;
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(instruments_.size());
+  for (const auto& [name, ins] : instruments_) {
+    Sample s;
+    s.name = name;
+    s.kind = ins.kind;
+    switch (ins.kind) {
+      case Kind::kCounter:
+        s.u = ins.counter_fn ? ins.counter_fn() : ins.counter.value();
+        break;
+      case Kind::kGauge:
+        s.d = ins.gauge_fn ? ins.gauge_fn() : ins.gauge.value();
+        s.is_float = true;
+        break;
+      case Kind::kHistogram:
+        s.u = ins.hist->count();
+        s.d = ins.hist->sum();
+        s.hist = ins.hist.get();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace gtw::obs

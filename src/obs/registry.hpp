@@ -1,0 +1,145 @@
+// Simulation-wide observability registry (the profile half of the VAMPIR
+// tooling the paper leans on in section 3 — "performance evaluation and
+// tuning of metacomputing applications").
+//
+// A Registry is a hierarchy-by-naming-convention of instruments with dotted
+// names ("net.link.fzj-gmd.tx_bytes", "tcp.conn0.retransmits",
+// "fire.stage.motion.busy_ps").  Four instrument kinds:
+//
+//   Counter    monotone uint64 (events, bytes, drops); add() or set()
+//   Gauge      instantaneous double (utilization, cwnd); set()
+//   Histogram  explicit-bound distribution (delays); add()
+//   probes     named read-only functions evaluated at snapshot/sample time,
+//              so components expose state (queue depth, cwnd) without the
+//              registry scheduling anything or the component storing one
+//              more counter.
+//
+// Determinism contract: the registry never touches the scheduler, never
+// reads wall-clock time, and iterates instruments in lexicographic name
+// order (std::map), so a snapshot of the same simulation is byte-identical
+// run to run and instrumentation cannot perturb the DES schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace gtw::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  // Absolute assignment, for bridging totals accumulated elsewhere.
+  void set(std::uint64_t value) { value_ = value; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Distribution over explicit upper bounds: counts_[i] holds samples with
+// value <= bounds_[i]; one extra overflow bucket collects the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void add(double x);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// A begin/end event marker on the DES clock (fault begin/end, phase
+// boundaries); exported as instant events in the Chrome trace.
+struct Mark {
+  des::SimTime t;
+  std::string name;
+  bool begin = true;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Define-or-fetch by dotted name.  Re-requesting an existing name with
+  // the same kind returns the same instrument; requesting it with a
+  // different kind (or shadowing a probe) throws std::logic_error — a name
+  // collision is a wiring bug, not something to paper over.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Read-only probes: evaluated on every snapshot()/read(); must only read
+  // simulation state (they run inside const snapshots and must not
+  // schedule, mutate, or allocate observable state).
+  void probe_counter(const std::string& name, std::function<std::uint64_t()> fn);
+  void probe_gauge(const std::string& name, std::function<double()> fn);
+
+  void mark(const std::string& name, des::SimTime t, bool begin);
+  const std::vector<Mark>& marks() const { return marks_; }
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const { return instruments_.size(); }
+
+  // Scalar read of one instrument (counters widen to double); histograms
+  // read as their sample count.  Throws std::out_of_range on unknown names.
+  double read(const std::string& name) const;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Sample {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t u = 0;       // counters
+    double d = 0.0;            // gauges; histogram sum
+    const Histogram* hist = nullptr;  // histogram detail (buckets)
+    bool is_float = false;
+  };
+
+  // Stable-ordered (lexicographic by name) flattened view; probes are
+  // evaluated in place.
+  std::vector<Sample> snapshot() const;
+
+ private:
+  struct Instrument {
+    Kind kind = Kind::kCounter;
+    // Exactly one of these is live, matching `kind` (probe counters/gauges
+    // store fn instead of the value).
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> hist;
+    std::function<std::uint64_t()> counter_fn;
+    std::function<double()> gauge_fn;
+  };
+
+  Instrument& define(const std::string& name, Kind kind);
+
+  std::map<std::string, Instrument> instruments_;
+  std::vector<Mark> marks_;
+};
+
+}  // namespace gtw::obs

@@ -1,0 +1,42 @@
+#include "obs/sampler.hpp"
+
+#include <stdexcept>
+
+namespace gtw::obs {
+
+void TimeSeriesSampler::watch(const std::string& name) {
+  if (!reg_->contains(name))
+    throw std::out_of_range("obs: cannot watch unknown instrument '" + name +
+                            "'");
+  series_.push_back(Series{name, {}});
+}
+
+void TimeSeriesSampler::watch_prefix(const std::string& prefix) {
+  for (const Registry::Sample& s : reg_->snapshot())
+    if (s.name.compare(0, prefix.size(), prefix) == 0)
+      series_.push_back(Series{s.name, {}});
+}
+
+void TimeSeriesSampler::sample() {
+  const std::int64_t t = sched_->now().ps();
+  for (Series& s : series_) s.points.emplace_back(t, reg_->read(s.name));
+  ++samples_;
+}
+
+void TimeSeriesSampler::sample_every(des::SimTime period, des::SimTime until) {
+  if (period <= des::SimTime::zero())
+    throw std::logic_error("obs: sampling period must be positive");
+  sample();
+  tick(period, until);
+}
+
+void TimeSeriesSampler::tick(des::SimTime period, des::SimTime until) {
+  const des::SimTime next = sched_->now() + period;
+  if (next > until) return;
+  sched_->schedule_at(next, [this, period, until]() {
+    sample();
+    tick(period, until);
+  });
+}
+
+}  // namespace gtw::obs

@@ -1,0 +1,64 @@
+// Time-series sampling of Registry instruments on the DES clock.
+//
+// A TimeSeriesSampler snapshots a watched subset of instruments, either on
+// demand (sample()) or periodically (sample_every), always at simulated
+// time — no wall clock anywhere.  Periodic sampling needs an explicit
+// horizon: the DES runs until its queue drains, so an unbounded periodic
+// event would keep the simulation alive forever.
+//
+// Sampling is read-only (registry probes must not mutate simulation state),
+// so attaching a sampler cannot change any simulation result; it only adds
+// events to the scheduler, which shifts nothing because DES timestamps are
+// absolute and ties between other events keep their relative order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "des/time.hpp"
+#include "obs/registry.hpp"
+
+namespace gtw::obs {
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(des::Scheduler& sched, const Registry& reg)
+      : sched_(&sched), reg_(&reg) {}
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  // Add an instrument to the watch list (must already exist in the
+  // registry).  Series keep watch order, so exports are stable.
+  void watch(const std::string& name);
+  // Watch every instrument whose name starts with `prefix` at call time
+  // (instruments defined later are not picked up).
+  void watch_prefix(const std::string& prefix);
+
+  // Record one point per watched series at the current simulated time.
+  void sample();
+
+  // Sample now and then every `period` until `until` (inclusive start,
+  // exclusive of points past the horizon).
+  void sample_every(des::SimTime period, des::SimTime until);
+
+  struct Series {
+    std::string name;
+    std::vector<std::pair<std::int64_t, double>> points;  // (t_ps, value)
+  };
+  const std::vector<Series>& series() const { return series_; }
+  std::size_t samples_taken() const { return samples_; }
+
+ private:
+  void tick(des::SimTime period, des::SimTime until);
+
+  des::Scheduler* sched_;
+  const Registry* reg_;
+  std::vector<Series> series_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace gtw::obs

@@ -45,6 +45,31 @@ TEST(PingTest, LossyLinkReportsMissingReplies) {
   tb.scheduler().run();
   EXPECT_EQ(report.sent, 30);
   EXPECT_LT(report.received, 30);
+  // Every probe is accounted for: answered or timed out, nothing vanishes.
+  EXPECT_EQ(report.timeouts, report.sent - report.received);
+}
+
+// Regression for the probe timeout becoming a constructor parameter: a
+// short grace period must end the run at last-send + timeout (the default
+// would sit a full second), and unanswered probes must be reported.
+TEST(PingTest, CustomTimeoutBoundsUnansweredRun) {
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  // No EchoResponder bound on the destination port: no probe is answered.
+  net::PingReport report;
+  des::SimTime done_at;
+  net::Pinger ping(tb.onyx2_juelich(), tb.onyx2_gmd().id(), 9998, 5,
+                   units::Bytes{56}, des::SimTime::milliseconds(10),
+                   des::SimTime::milliseconds(50));
+  ping.start([&](const net::PingReport& rep) {
+    report = rep;
+    done_at = tb.scheduler().now();
+  });
+  tb.scheduler().run();
+  EXPECT_EQ(report.sent, 5);
+  EXPECT_EQ(report.received, 0);
+  EXPECT_EQ(report.timeouts, 5);
+  // Five sends every 10 ms, then the 50 ms grace period: done at 100 ms.
+  EXPECT_EQ(done_at, des::SimTime::milliseconds(100));
 }
 
 TEST(ConservativeRegridTest, PreservesIntegralExactly) {

@@ -32,7 +32,8 @@ import tempfile
 NO_BENCHMARKS = "--benchmark_filter=$^"
 
 
-def run_once(cmd: list[str], workdir: str, pattern: str) -> dict[str, bytes]:
+def run_once(cmd: list[str], workdir: str,
+             patterns: list[str]) -> dict[str, bytes]:
     proc = subprocess.run(cmd, cwd=workdir, stdout=subprocess.PIPE,
                           stderr=subprocess.STDOUT)
     if proc.returncode != 0:
@@ -40,9 +41,10 @@ def run_once(cmd: list[str], workdir: str, pattern: str) -> dict[str, bytes]:
         raise RuntimeError(
             f"command exited {proc.returncode}: {' '.join(cmd)}")
     artifacts: dict[str, bytes] = {}
-    for path in sorted(glob.glob(os.path.join(workdir, pattern))):
-        with open(path, "rb") as f:
-            artifacts[os.path.basename(path)] = f.read()
+    for pattern in patterns:
+        for path in sorted(glob.glob(os.path.join(workdir, pattern))):
+            with open(path, "rb") as f:
+                artifacts[os.path.basename(path)] = f.read()
     return artifacts
 
 
@@ -59,8 +61,10 @@ def main(argv: list[str]) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--bench", required=True,
                     help="benchmark binary to replay twice")
-    ap.add_argument("--artifact-glob", default="BENCH_*.json",
-                    help="artifacts to compare (default: BENCH_*.json)")
+    ap.add_argument("--artifact-glob", action="append", default=None,
+                    dest="artifact_globs",
+                    help="artifacts to compare, repeatable (default: "
+                         "BENCH_*.json and OBS_*.json)")
     ap.add_argument("--arg", action="append", default=None, dest="args",
                     help="extra argument to pass instead of the default "
                          "never-matching --benchmark_filter (repeatable)")
@@ -68,19 +72,21 @@ def main(argv: list[str]) -> int:
 
     cmd = [os.path.abspath(args.bench)]
     cmd += args.args if args.args is not None else [NO_BENCHMARKS]
+    globs = (args.artifact_globs if args.artifact_globs is not None
+             else ["BENCH_*.json", "OBS_*.json"])
 
     try:
         with tempfile.TemporaryDirectory(prefix="det_run1_") as d1, \
                 tempfile.TemporaryDirectory(prefix="det_run2_") as d2:
-            run1 = run_once(cmd, d1, args.artifact_glob)
-            run2 = run_once(cmd, d2, args.artifact_glob)
+            run1 = run_once(cmd, d1, globs)
+            run2 = run_once(cmd, d2, globs)
     except (RuntimeError, OSError) as e:
         print(f"determinism-gate: ERROR: {e}", file=sys.stderr)
         return 2
 
     if not run1:
         print(f"determinism-gate: ERROR: no artifacts matching "
-              f"'{args.artifact_glob}' were produced — the gate would "
+              f"{globs} were produced — the gate would "
               f"vacuously pass", file=sys.stderr)
         return 1
 

@@ -1,0 +1,146 @@
+// gtw-trace: inspect a GTWT binary trace (the VAMPIR-style logs the
+// simulator's TraceRecorder writes) from the command line.
+//
+//   gtw-trace run.gtwt                     summary (ranks, events, span)
+//   gtw-trace run.gtwt --profile           per-rank/state time profile
+//   gtw-trace run.gtwt --gantt [cols]      text timeline
+//   gtw-trace run.gtwt --msg-matrix        rank-pair message statistics
+//   gtw-trace run.gtwt --chrome out.json   convert to Chrome trace-event
+//                                          JSON (Perfetto / chrome://tracing)
+//   gtw-trace run.gtwt --metrics           event-kind and message totals
+//
+// Flags combine; sections print in the order given above.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using gtw::trace::EventKind;
+using gtw::trace::TraceEvent;
+using gtw::trace::TraceRecorder;
+using gtw::trace::TraceStats;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <trace.gtwt> [--profile] [--gantt [cols]] [--msg-matrix]"
+               " [--chrome out.json] [--metrics]\n";
+  return 2;
+}
+
+void print_summary(const TraceRecorder& rec) {
+  std::int64_t begin = 0, end = 0;
+  if (!rec.events().empty()) {
+    begin = rec.events().front().time_ps;
+    end = rec.events().back().time_ps;
+  }
+  std::cout << "ranks:   " << rec.ranks() << "\n"
+            << "states:  " << rec.state_count() << "\n"
+            << "events:  " << rec.events().size() << "\n"
+            << "span:    " << static_cast<double>(end - begin) * 1e-12
+            << " s (" << begin << " .. " << end << " ps)\n";
+}
+
+void print_metrics(const TraceRecorder& rec, const TraceStats& stats) {
+  std::uint64_t enters = 0, leaves = 0, sends = 0, recvs = 0;
+  for (const TraceEvent& e : rec.events()) {
+    switch (e.kind) {
+      case EventKind::kEnter: ++enters; break;
+      case EventKind::kLeave: ++leaves; break;
+      case EventKind::kSend: ++sends; break;
+      case EventKind::kRecv: ++recvs; break;
+    }
+  }
+  std::cout << "enter events:   " << enters << "\n"
+            << "leave events:   " << leaves << "\n"
+            << "send events:    " << sends << "\n"
+            << "recv events:    " << recvs << "\n"
+            << "total messages: " << stats.total_messages() << "\n"
+            << "total bytes:    " << stats.total_bytes() << "\n";
+}
+
+void print_msg_matrix(const TraceRecorder& rec, const TraceStats& stats) {
+  const auto ranks = static_cast<std::uint32_t>(rec.ranks());
+  std::cout << "messages (rows: from, cols: to)\n      ";
+  for (std::uint32_t to = 0; to < ranks; ++to) std::cout << "\t" << to;
+  std::cout << "\n";
+  for (std::uint32_t from = 0; from < ranks; ++from) {
+    std::cout << "  " << from << "  ";
+    for (std::uint32_t to = 0; to < ranks; ++to)
+      std::cout << "\t" << stats.messages(from, to);
+    std::cout << "\n";
+  }
+  std::cout << "bytes (rows: from, cols: to)\n      ";
+  for (std::uint32_t to = 0; to < ranks; ++to) std::cout << "\t" << to;
+  std::cout << "\n";
+  for (std::uint32_t from = 0; from < ranks; ++from) {
+    std::cout << "  " << from << "  ";
+    for (std::uint32_t to = 0; to < ranks; ++to)
+      std::cout << "\t" << stats.bytes(from, to);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+  if (path == "--help" || path == "-h") return usage(argv[0]);
+
+  bool profile = false, gantt = false, msg_matrix = false, metrics = false;
+  int gantt_cols = 72;
+  std::string chrome_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--gantt") {
+      gantt = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        gantt_cols = std::stoi(argv[++i]);
+    } else if (arg == "--msg-matrix") {
+      msg_matrix = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--chrome") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      chrome_out = argv[++i];
+    } else {
+      std::cerr << "gtw-trace: unknown flag '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "gtw-trace: cannot open '" << path << "'\n";
+    return 1;
+  }
+  TraceRecorder rec = TraceRecorder::read(in);
+  const TraceStats stats(rec);
+
+  const bool any_section =
+      profile || gantt || msg_matrix || metrics || !chrome_out.empty();
+  if (!any_section) print_summary(rec);
+
+  if (profile) std::cout << stats.profile();
+  if (gantt) std::cout << stats.gantt(gantt_cols);
+  if (msg_matrix) print_msg_matrix(rec, stats);
+  if (metrics) print_metrics(rec, stats);
+  if (!chrome_out.empty()) {
+    std::ofstream out(chrome_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "gtw-trace: cannot write '" << chrome_out << "'\n";
+      return 1;
+    }
+    gtw::obs::write_chrome_trace(out, rec);
+    std::cout << "wrote " << chrome_out << "\n";
+  }
+  return 0;
+}

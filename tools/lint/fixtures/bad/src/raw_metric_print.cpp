@@ -1,0 +1,11 @@
+// Fixture: direct metric dumping from library code.  The path contains
+// "src/", which is how the real tree is gated.
+#include <cstdio>
+#include <iostream>
+
+void dump_metrics(unsigned long long tx_bytes, double utilization) {
+  std::cout << "tx_bytes=" << tx_bytes << "\n";            // BAD
+  printf("utilization %.3f\n", utilization);               // BAD
+  fprintf(stdout, "tx_bytes %llu\n", tx_bytes);            // BAD
+  puts("-- metrics --");                                   // BAD
+}

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned ways library code handles output — building
+// strings with snprintf, diagnostics on stderr, and an annotated exception.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+std::string render_metrics(unsigned long long tx_bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "tx_bytes=%llu", tx_bytes);  // fine: string
+  return buf;
+}
+
+void diagnostics(const std::string& what) {
+  std::cerr << "warning: " << what << "\n";  // fine: stderr
+  fprintf(stderr, "detail: %s\n", what.c_str());
+}
+
+void sanctioned_exception() {
+  // gtw-lint: allow(raw-metric-print)
+  std::cout << "banner\n";
+}

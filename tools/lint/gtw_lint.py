@@ -48,6 +48,14 @@ machine-checked source rules:
                         cannot be mistaken for bit counts (or cells) at a
                         call site; raw integers stay legal inside packet
                         structs and private arithmetic.
+  raw-metric-print      std::cout / printf / fprintf(stdout) / puts in
+                        src/.  Library code must not dump metrics to stdout
+                        directly: numbers leave the simulator through the
+                        stable-ordered obs exporters (write_metrics_json/
+                        csv, write_chrome_trace) or as returned strings the
+                        caller prints.  Benches, examples, tests and tools
+                        print freely; snprintf (string building) and
+                        std::cerr (diagnostics) stay legal everywhere.
 
 Suppression: append `// gtw-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place it alone on the line above.  Allowlist annotations
@@ -117,6 +125,12 @@ TYPED_RATE_RE = re.compile(
 
 UNITLESS_SIZE_PARAM_RE = re.compile(
     r"[(,]\s*(?:std\s*::\s*)?uint(?:32|64)_t\s+\w*bytes\w*")
+
+RAW_METRIC_PRINT_RE = re.compile(
+    r"\bstd\s*::\s*cout\b"
+    r"|(?<![\w:])printf\s*\("
+    r"|(?<![\w:])fprintf\s*\(\s*stdout\b"
+    r"|(?<![\w:])puts\s*\(")
 
 
 @dataclass
@@ -231,6 +245,9 @@ def check_file(path: str, relpath: str) -> list[Finding]:
     rate_exempt = in_module(relpath, "src/units", "units/units")
     # unitless-size-param guards the net API boundary only.
     net_boundary = in_module(relpath, "net/")
+    # raw-metric-print guards library code; benches/examples/tests/tools
+    # are the layers that legitimately print.
+    library_code = in_module(relpath, "src/")
 
     unordered_names: set[str] = set()
     for lineno, line in enumerate(code, start=1):
@@ -292,13 +309,19 @@ def check_file(path: str, relpath: str) -> list[Finding]:
             report(lineno, "unitless-size-param",
                    "unitless byte-count parameter on a net API; take "
                    "units::Bytes so the caller cannot pass bits or cells")
+        if library_code and RAW_METRIC_PRINT_RE.search(line):
+            report(lineno, "raw-metric-print",
+                   "direct stdout printing in library code; metrics leave "
+                   "the simulator through the obs exporters "
+                   "(write_metrics_json/csv, write_chrome_trace) or as a "
+                   "returned string the caller prints")
     return findings
 
 
 RULES = [
     "unordered-container", "unordered-iter", "raw-entropy", "wall-clock",
     "pointer-order", "past-schedule", "raw-rate-double",
-    "unitless-size-param",
+    "unitless-size-param", "raw-metric-print",
 ]
 
 

@@ -32,8 +32,10 @@ EXPECTATIONS = {
     "bad/past_schedule.cpp": {"past-schedule": 2},
     "bad/raw_rate_double.cpp": {"raw-rate-double": 4},
     "bad/net/unitless_size_param.cpp": {"unitless-size-param": 2},
+    "bad/src/raw_metric_print.cpp": {"raw-metric-print": 4},
     "clean/clean.cpp": {},
     "clean/allowed.cpp": {},
+    "clean/src/metric_print_clean.cpp": {},
 }
 
 
