@@ -1,0 +1,118 @@
+// Small-buffer-optimized, move-only callable for DES event records.
+//
+// The scheduler fires millions of events per simulated second; wrapping each
+// one in std::function costs a heap allocation whenever the capture exceeds
+// the library's tiny inline buffer (16 bytes on libstdc++ — a captured Frame
+// alone is ~100).  Action inlines captures up to kInlineBytes into the event
+// record itself, so the common simulator callables (a frame in flight, a
+// packet plus its route, a retransmit timer) are stored allocation-free
+// inside the pooled event slot.  Larger callables fall back to one heap
+// allocation, exactly like std::function — the type is a superset, not a
+// restriction: it also accepts move-only captures std::function rejects.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gtw::des {
+
+class Action {
+ public:
+  // Sized so every per-packet callable in src/net stays inline: the largest
+  // (link propagation delivering a Frame with an inlined TCP header) is
+  // ~112 bytes.  Growing a capture past this silently costs one allocation
+  // per event — keep hot-path lambdas lean instead of growing the buffer.
+  static constexpr std::size_t kInlineBytes = 120;
+
+  Action() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Action> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Action(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  Action(Action&& other) noexcept { move_from(other); }
+  Action& operator=(Action&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+  ~Action() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*from);  // the pointer itself is trivially destructible
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void move_from(Action& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gtw::des

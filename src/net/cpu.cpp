@@ -2,7 +2,7 @@
 
 namespace gtw::net {
 
-void CpuResource::execute(des::SimTime cost, std::function<void()> done) {
+void CpuResource::execute(des::SimTime cost, des::Action done) {
   queue_.push_back(Job{cost, std::move(done)});
   maybe_start();
 }
@@ -10,13 +10,13 @@ void CpuResource::execute(des::SimTime cost, std::function<void()> done) {
 void CpuResource::maybe_start() {
   if (busy_ || queue_.empty()) return;
   busy_ = true;
-  Job job = std::move(queue_.front());
-  queue_.pop_front();
-  busy_accum_ += job.cost;
-  sched_.schedule_after(job.cost, [this, done = std::move(job.done)]() {
+  busy_accum_ += queue_.front().cost;
+  sched_.schedule_after(queue_.front().cost, [this]() {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
     busy_ = false;
     ++jobs_;
-    done();
+    job.done();
     maybe_start();
   });
 }

@@ -7,9 +7,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "des/action.hpp"
 #include "des/scheduler.hpp"
 
 namespace gtw::net {
@@ -21,7 +21,7 @@ class CpuResource {
 
   // Run `done` after `cost` of exclusive CPU time, queued FIFO behind any
   // work already accepted.
-  void execute(des::SimTime cost, std::function<void()> done);
+  void execute(des::SimTime cost, des::Action done);
 
   double utilization() const;
   std::uint64_t jobs_completed() const { return jobs_; }
@@ -30,9 +30,11 @@ class CpuResource {
  private:
   void maybe_start();
 
+  // Jobs park here until their completion event fires; the event itself
+  // captures only `this`, so it always fits the scheduler's inline record.
   struct Job {
     des::SimTime cost;
-    std::function<void()> done;
+    des::Action done;
   };
 
   des::Scheduler& sched_;

@@ -79,8 +79,11 @@ void Host::send_datagram(IpPacket pkt) {
     frag.total_bytes = chunk + kIpHeaderBytes;
     frag.frag_offset = offset;
     frag.more_fragments = (offset + chunk) < payload;
-    // Only the first fragment carries the transport payload handle.
-    if (offset != 0) frag.payload.reset();
+    // Only the first fragment carries the transport header and payload.
+    if (offset != 0) {
+      frag.tcp = TcpSegHeader{};
+      frag.payload.reset();
+    }
     offset += chunk;
     emit(std::move(frag), *route);
   }

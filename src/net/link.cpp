@@ -50,43 +50,118 @@ bool Link::submit(Frame f) {
 void Link::maybe_start() {
   if (transmitting_ || queue_.empty()) return;
   transmitting_ = true;
-  Frame f = std::move(queue_.front());
-  queue_.pop_front();
 
-  const des::SimTime tx =
-      units::transmission_time(units::Bytes{f.wire_bytes}, cfg_.rate) +
-      cfg_.per_frame_overhead;
-  busy_accum_ += tx;
-  sched_.schedule_after(tx, [this, f = std::move(f)]() mutable {
-    transmitting_ = false;
-    queued_bytes_ -= f.wire_bytes;
-    queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
-    if (!up_) {
-      // The line was cut while this frame was being clocked out.
+  if (cfg_.fidelity == LinkFidelity::kExact) {
+    Frame f = std::move(queue_.front());
+    queue_.pop_front();
+
+    const des::SimTime tx =
+        units::transmission_time(units::Bytes{f.wire_bytes}, cfg_.rate) +
+        cfg_.per_frame_overhead;
+    busy_accum_ += tx;
+    sched_.schedule_after(tx, [this, f = std::move(f)]() mutable {
+      transmitting_ = false;
+      queued_bytes_ -= f.wire_bytes;
+      queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+      if (!up_) {
+        // The line was cut while this frame was being clocked out.
+        ++outage_drops_;
+        outage_dropped_bytes_ += f.wire_bytes;
+        return;
+      }
+      ++frames_sent_;
+      bytes_sent_ += f.wire_bytes;
+      if (cfg_.bit_error_rate > 0.0) {
+        // P(frame corrupted) = 1 - (1-BER)^bits; the AAL5 CRC discards it.
+        const double bits = static_cast<double>(f.wire_bytes) * 8.0;
+        const double p_ok = std::exp(bits * std::log1p(-cfg_.bit_error_rate));
+        if (!rng_.bernoulli(p_ok)) {
+          ++corrupted_;
+          maybe_start();
+          return;
+        }
+      }
+      if (sink_) {
+        sched_.schedule_after(cfg_.propagation, [this, f = std::move(f)]() mutable {
+          sink_(std::move(f));
+        });
+      }
+      maybe_start();
+    });
+    return;
+  }
+
+  // Fluid mode: clock out a burst of frames under one transmit event.  The
+  // burst spans at most burst_frames frames and burst_window of wire time
+  // (always at least one frame, so oversized frames degrade gracefully to
+  // the exact path's one-event-per-frame behaviour).
+  const BurstId idx = burst_pool_.acquire();
+  auto& burst = burst_pool_[idx];
+  burst.clear();
+  des::SimTime total = des::SimTime::zero();
+  while (!queue_.empty() && burst.size() < cfg_.burst_frames) {
+    const des::SimTime tx =
+        units::transmission_time(units::Bytes{queue_.front().wire_bytes},
+                                 cfg_.rate) +
+        cfg_.per_frame_overhead;
+    if (!burst.empty() && total + tx > cfg_.burst_window) break;
+    total += tx;
+    burst.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  busy_accum_ += total;
+  sched_.schedule_after(total, [this, idx]() { finish_burst(idx); });
+}
+
+void Link::finish_burst(BurstId idx) {
+  auto& burst = burst_pool_[idx];
+  transmitting_ = false;
+  for (const Frame& f : burst) queued_bytes_ -= f.wire_bytes;
+  queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+  if (!up_) {
+    // The line was cut mid-burst: every frame being clocked out is lost.
+    for (const Frame& f : burst) {
       ++outage_drops_;
       outage_dropped_bytes_ += f.wire_bytes;
-      return;
     }
+    burst.clear();
+    burst_pool_.release(idx);
+    return;
+  }
+  ++bursts_completed_;
+  // Per-frame BER draws in queue order — the same draw sequence the exact
+  // path would make, so a link's error stream is fidelity-independent.
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    Frame& f = burst[i];
     ++frames_sent_;
     bytes_sent_ += f.wire_bytes;
     if (cfg_.bit_error_rate > 0.0) {
-      // P(frame corrupted) = 1 - (1-BER)^bits; the AAL5 CRC discards it.
       const double bits = static_cast<double>(f.wire_bytes) * 8.0;
       const double p_ok = std::exp(bits * std::log1p(-cfg_.bit_error_rate));
       if (!rng_.bernoulli(p_ok)) {
         ++corrupted_;
-        maybe_start();
-        return;
+        continue;
       }
     }
-    if (sink_) {
-      sched_.schedule_after(cfg_.propagation,
-                            [sink = sink_, f = std::move(f)]() mutable {
-                              sink(std::move(f));
-                            });
-    }
-    maybe_start();
-  });
+    if (alive != i) burst[alive] = std::move(f);
+    ++alive;
+  }
+  burst.resize(alive);
+  if (!burst.empty() && sink_) {
+    // One propagation event delivers the whole burst, in order, at the
+    // burst's completion time plus the propagation delay.
+    sched_.schedule_after(cfg_.propagation, [this, idx]() {
+      auto& b = burst_pool_[idx];
+      for (Frame& f : b) sink_(std::move(f));
+      b.clear();
+      burst_pool_.release(idx);
+    });
+  } else {
+    burst.clear();
+    burst_pool_.release(idx);
+  }
+  maybe_start();
 }
 
 double Link::utilization() const {

@@ -99,8 +99,7 @@ void TcpConnection::send_segment(int side, std::uint64_t seq,
   pkt.src_port = e.local_port;
   pkt.dst_port = e.remote_port;
   pkt.total_bytes = len + kIpHeaderBytes + kTcpHeaderBytes;
-  pkt.payload = std::make_shared<const std::any>(
-      SegMeta{seq, len, e.rcv_nxt});
+  pkt.tcp = TcpSegHeader{seq, e.rcv_nxt, len, /*valid=*/true};
   ++e.stats.segments_sent;
   if (retransmit) ++e.stats.retransmits;
 
@@ -140,14 +139,13 @@ void TcpConnection::on_rto(int side) {
 }
 
 void TcpConnection::on_packet(int side, const IpPacket& pkt) {
-  if (!pkt.payload) return;
-  const auto* meta = std::any_cast<SegMeta>(pkt.payload.get());
-  if (meta == nullptr) return;
-  if (meta->len > 0) process_data(side, *meta);
-  process_ack(side, *meta);
+  if (!pkt.tcp.valid) return;
+  const TcpSegHeader m = pkt.tcp;
+  if (m.len > 0) process_data(side, m);
+  process_ack(side, m);
 }
 
-void TcpConnection::process_data(int side, const SegMeta& m) {
+void TcpConnection::process_data(int side, const TcpSegHeader& m) {
   Endpoint& e = ep_[side];
   const std::uint64_t seg_end = m.seq + m.len;
   if (seg_end <= e.rcv_nxt) {
@@ -230,12 +228,12 @@ void TcpConnection::flush_ack(int side) {
   pkt.src_port = e.local_port;
   pkt.dst_port = e.remote_port;
   pkt.total_bytes = kIpHeaderBytes + kTcpHeaderBytes;
-  pkt.payload = std::make_shared<const std::any>(SegMeta{0, 0, e.rcv_nxt});
+  pkt.tcp = TcpSegHeader{0, e.rcv_nxt, 0, /*valid=*/true};
   ++e.stats.acks_sent;
   e.host->send_datagram(std::move(pkt));
 }
 
-void TcpConnection::process_ack(int side, const SegMeta& m) {
+void TcpConnection::process_ack(int side, const TcpSegHeader& m) {
   Endpoint& e = ep_[side];
   if (m.ack > e.snd_una) {
     e.snd_una = m.ack;

@@ -118,15 +118,9 @@ class TcpConnection {
     Stats stats;
   };
 
-  struct SegMeta {
-    std::uint64_t seq = 0;
-    std::uint32_t len = 0;
-    std::uint64_t ack = 0;
-  };
-
   void on_packet(int side, const IpPacket& pkt);
-  void process_data(int side, const SegMeta& m);
-  void process_ack(int side, const SegMeta& m);
+  void process_data(int side, const TcpSegHeader& m);
+  void process_ack(int side, const TcpSegHeader& m);
   void try_send(int side);
   void send_segment(int side, std::uint64_t seq, std::uint32_t len,
                     bool retransmit);

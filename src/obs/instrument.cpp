@@ -4,6 +4,49 @@
 
 namespace gtw::obs {
 
+void instrument_scheduler(Registry& reg, const des::Scheduler& sched,
+                          const std::string& prefix) {
+  const std::string p = prefix + ".";
+  reg.probe_counter(p + "events_executed",
+                    [&sched] { return sched.events_executed(); });
+  reg.probe_gauge(p + "live_events", [&sched] {
+    return static_cast<double>(sched.live_events());
+  });
+  reg.probe_gauge(p + "calendar_buckets", [&sched] {
+    return static_cast<double>(sched.calendar_buckets());
+  });
+  reg.probe_gauge(p + "overflow_entries", [&sched] {
+    return static_cast<double>(sched.overflow_entries());
+  });
+  reg.probe_counter(p + "bucket_high_water", [&sched] {
+    return static_cast<std::uint64_t>(sched.bucket_high_water());
+  });
+  reg.probe_counter(p + "overflow_high_water", [&sched] {
+    return static_cast<std::uint64_t>(sched.overflow_high_water());
+  });
+  reg.probe_counter(p + "calendar_resizes",
+                    [&sched] { return sched.calendar_resizes(); });
+  reg.probe_counter(p + "pool_slots", [&sched] {
+    return static_cast<std::uint64_t>(sched.pool_slots());
+  });
+  reg.probe_gauge(p + "pool_in_use", [&sched] {
+    return static_cast<double>(sched.pool_in_use());
+  });
+  reg.probe_counter(p + "pool_high_water", [&sched] {
+    return static_cast<std::uint64_t>(sched.pool_high_water());
+  });
+  reg.probe_counter(p + "pool_slabs", [&sched] {
+    return static_cast<std::uint64_t>(sched.pool_slabs());
+  });
+  // Deterministic rate: events per simulated second (never wall clock — a
+  // wall-clock rate would break the byte-identical replay gate).
+  reg.probe_gauge(p + "events_per_sim_s", [&sched] {
+    const double sim_s = sched.now().sec();
+    if (sim_s <= 0.0) return 0.0;
+    return static_cast<double>(sched.events_executed()) / sim_s;
+  });
+}
+
 void instrument_link(Registry& reg, const net::Link& link,
                      const std::string& prefix) {
   const std::string p =
@@ -26,6 +69,16 @@ void instrument_link(Registry& reg, const net::Link& link,
   reg.probe_gauge(p + "queue_mean_bytes",
                   [&link] { return link.mean_queue_bytes(); });
   reg.probe_gauge(p + "utilization", [&link] { return link.utilization(); });
+  if (link.fidelity() == net::LinkFidelity::kFluid) {
+    reg.probe_counter(p + "bursts_completed",
+                      [&link] { return link.bursts_completed(); });
+    reg.probe_counter(p + "burst_pool_slots", [&link] {
+      return static_cast<std::uint64_t>(link.burst_pool_slots());
+    });
+    reg.probe_counter(p + "burst_pool_high_water", [&link] {
+      return static_cast<std::uint64_t>(link.burst_pool_high_water());
+    });
+  }
 }
 
 void instrument_host(Registry& reg, const net::Host& host) {

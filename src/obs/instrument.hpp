@@ -32,10 +32,21 @@
 
 namespace gtw::obs {
 
+// des.sched.{events_executed,live_events,calendar_buckets,overflow_entries,
+// bucket_high_water,overflow_high_water,calendar_resizes,pool_slots,
+// pool_in_use,pool_high_water,pool_slabs,events_per_sim_s}.  The engine-core
+// dashboard: calendar occupancy says whether the bucket-width estimate fits
+// the workload, pool high-water is the event-record footprint, and
+// events_per_sim_s (executed events per *simulated* second — deterministic,
+// unlike a wall-clock rate) tracks how event-dense the scenario is.
+void instrument_scheduler(Registry& reg, const des::Scheduler& sched,
+                          const std::string& prefix = "des.sched");
+
 // net.link.<name>.{tx_frames,tx_bytes,drops,dropped_bytes,corrupted_frames,
-// outage_drops,queue_bytes,queue_mean_bytes,utilization}; pass `prefix` to
-// override the default "net.link.<name>" (the ATM switch instruments its
-// port links under its own hierarchy).
+// outage_drops,queue_bytes,queue_mean_bytes,utilization} plus, on fluid
+// links, {bursts_completed,burst_pool_slots,burst_pool_high_water}; pass
+// `prefix` to override the default "net.link.<name>" (the ATM switch
+// instruments its port links under its own hierarchy).
 void instrument_link(Registry& reg, const net::Link& link,
                      const std::string& prefix = "");
 

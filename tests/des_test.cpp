@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "des/random.hpp"
@@ -150,6 +151,133 @@ TEST(SchedulerTest, CancelledOrderingUnaffectedForSurvivors) {
     for (int i = 0; i < 30; i += 3)
       if (i % 5 == ms) expect.push_back(i);
   EXPECT_EQ(order, expect);
+}
+
+TEST(SchedulerTest, DoubleCancelIsInert) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle h = sched.schedule_after(SimTime::seconds(1.0), [&] { fired = true; });
+  h.cancel();
+  h.cancel();  // second cancel must be a no-op, not a double-release
+  EXPECT_FALSE(h.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, StaleHandleCannotCancelRecycledSlot) {
+  // Regression: cancel() used to null only the scheduler pointer and leave
+  // seq_/slot_ stale.  A *copy* of the handle taken before the cancel still
+  // holds the old (seq, slot) pair; once the pool slot is recycled for a new
+  // event, cancelling through the copy must not kill the new event.
+  Scheduler sched;
+  bool first = false, second = false;
+  EventHandle h = sched.schedule_after(SimTime::seconds(1.0), [&] { first = true; });
+  EventHandle stale = h;  // copy before cancel
+  h.cancel();
+  // The freed slot is the first one the pool hands back out.
+  EventHandle fresh =
+      sched.schedule_after(SimTime::seconds(2.0), [&] { second = true; });
+  stale.cancel();  // stale seq must miss: the slot now belongs to `fresh`
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  sched.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(SchedulerTest, UseAfterFireHandleCannotCancelRecycledSlot) {
+  // Same aliasing hazard via the fire path: once an event has executed, its
+  // slot is recycled, and the old handle must not be able to cancel the
+  // event that now occupies it.
+  Scheduler sched;
+  EventHandle h = sched.schedule_after(SimTime::seconds(1.0), [] {});
+  sched.run();
+  bool fired = false;
+  EventHandle fresh =
+      sched.schedule_after(SimTime::seconds(1.0), [&] { fired = true; });
+  h.cancel();  // fired long ago; slot now belongs to `fresh`
+  EXPECT_TRUE(fresh.pending());
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, EarlierInsertAfterHorizonJumpStaysOrdered) {
+  // Peeking past a far-future event (a horizon-bounded run that executes
+  // nothing) advances the calendar's internal day cursor.  A later insert
+  // that lands *before* that day — legal, since it is still >= now() — must
+  // rewind the calendar, and execution order must come out strictly sorted.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime::seconds(1000.0), [&] { order.push_back(3); });
+  sched.run(SimTime::seconds(1.0));  // executes nothing; peeks at t=1000s
+  EXPECT_EQ(order.size(), 0u);
+  sched.schedule_at(SimTime::seconds(2.0), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::seconds(500.0), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, SparseFarFutureDayJumpsExecuteInOrder) {
+  // Events many "days" apart (seconds vs the microsecond-scale default
+  // bucket width) must hop empty days without executing out of order.
+  Scheduler sched;
+  std::vector<std::int64_t> fired_ps;
+  const double times[] = {1e-6, 3600.0, 0.25, 7.0, 1e-3, 400.0, 2e-6};
+  for (double t : times)
+    sched.schedule_at(SimTime::seconds(t),
+                      [&] { fired_ps.push_back(sched.now().ps()); });
+  sched.run();
+  ASSERT_EQ(fired_ps.size(), 7u);
+  for (std::size_t i = 1; i < fired_ps.size(); ++i)
+    EXPECT_LT(fired_ps[i - 1], fired_ps[i]);
+}
+
+TEST(SchedulerTest, StreamHashIdenticalAcrossIdenticalRuns) {
+  auto hash_of = [] {
+    Scheduler sched;
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i)
+      sched.schedule_after(SimTime::seconds(rng.uniform()), [] {});
+    sched.run();
+    return sched.stream_hash();
+  };
+  const std::uint64_t a = hash_of(), b = hash_of();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 14695981039346656037ULL);  // events actually mixed in
+}
+
+TEST(SchedulerTest, PoolRecyclesSlotsAndTracksHighWater) {
+  Scheduler sched;
+  const int kEvents = 300;
+  for (int i = 0; i < kEvents; ++i)
+    sched.schedule_at(SimTime::microseconds(i + 1), [] {});
+  EXPECT_EQ(sched.pool_in_use(), static_cast<std::size_t>(kEvents));
+  EXPECT_GE(sched.pool_high_water(), static_cast<std::size_t>(kEvents));
+  const std::size_t slots_before = sched.pool_slots();
+  sched.run();
+  EXPECT_EQ(sched.pool_in_use(), 0u);
+  // A second wave of the same size reuses freed slots: no pool growth.
+  for (int i = 0; i < kEvents; ++i)
+    sched.schedule_after(SimTime::microseconds(i + 1), [] {});
+  EXPECT_EQ(sched.pool_slots(), slots_before);
+  sched.run();
+  EXPECT_EQ(sched.pool_in_use(), 0u);
+}
+
+TEST(SchedulerTest, CalendarResizesWithPopulation) {
+  Scheduler sched;
+  EXPECT_EQ(sched.calendar_buckets(), 64u);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5000; ++i)
+    handles.push_back(sched.schedule_at(SimTime::nanoseconds(100 + i * 7), [] {}));
+  EXPECT_GT(sched.calendar_buckets(), 64u) << "table must grow under load";
+  EXPECT_GE(sched.calendar_resizes(), 1u);
+  for (auto& h : handles) h.cancel();
+  // Draining the population (here: mass-cancel) shrinks the table again.
+  EXPECT_LT(sched.calendar_buckets(), 4096u);
+  sched.run();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.queued_entries(), 0u);
 }
 
 TEST(SchedulerTest, HorizonStopsRun) {

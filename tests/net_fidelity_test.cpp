@@ -1,0 +1,222 @@
+// Fluid (batched-burst) link fidelity vs the exact per-frame model
+// (DESIGN.md §10).  The contract under test: fluid mode changes *only*
+// intra-burst delivery timestamps (bounded by burst_window) — admission,
+// drop accounting, BER draw order, delivery order and content are identical,
+// and end-to-end protocol metrics stay within 1% of exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "net/atm.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/tcp.hpp"
+#include "net/units.hpp"
+
+namespace gtw::net {
+namespace {
+
+Link::Config base_cfg(LinkFidelity fid) {
+  Link::Config cfg;
+  cfg.rate = units::BitRate::mbps(100.0);
+  cfg.propagation = des::SimTime::microseconds(10);
+  cfg.queue_limit = units::Bytes{1 << 22};
+  cfg.fidelity = fid;
+  return cfg;
+}
+
+struct Delivery {
+  std::uint64_t id;
+  std::int64_t at_ps;
+};
+
+// Run `n` tagged frames through a fresh link in the given mode and record
+// the delivery transcript plus scheduler event count.
+struct ModeRun {
+  std::vector<Delivery> deliveries;
+  std::uint64_t events = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t corrupted = 0;
+};
+
+ModeRun run_mode(LinkFidelity fid, int n, std::uint32_t wire_bytes,
+                 double ber = 0.0) {
+  des::Scheduler sched;
+  Link::Config cfg = base_cfg(fid);
+  cfg.bit_error_rate = ber;
+  Link link(sched, "l", cfg);
+  ModeRun out;
+  link.set_sink([&](Frame f) {
+    out.deliveries.push_back({f.pkt.id, sched.now().ps()});
+  });
+  for (int i = 0; i < n; ++i) {
+    Frame f;
+    f.pkt.id = static_cast<std::uint64_t>(i) + 1;
+    f.wire_bytes = wire_bytes;
+    link.submit(std::move(f));
+  }
+  sched.run();
+  out.events = sched.events_executed();
+  out.bursts = link.bursts_completed();
+  out.corrupted = link.corrupted_frames();
+  return out;
+}
+
+TEST(LinkFidelityTest, FluidReducesEventsPreservesOrderAndBoundsError) {
+  // 200 one-cell frames: 53 B at 100 Mbit/s is ~4.2 us of wire time each,
+  // so the 50 us default window batches roughly a dozen frames per burst.
+  const ModeRun exact = run_mode(LinkFidelity::kExact, 200, 53);
+  const ModeRun fluid = run_mode(LinkFidelity::kFluid, 200, 53);
+
+  ASSERT_EQ(exact.deliveries.size(), 200u);
+  ASSERT_EQ(fluid.deliveries.size(), 200u);
+  EXPECT_LT(fluid.events, exact.events / 2)
+      << "batching must collapse per-frame transmit/propagate events";
+  EXPECT_GT(fluid.bursts, 0u);
+  EXPECT_EQ(exact.bursts, 0u);
+
+  const std::int64_t window_ps = des::SimTime::microseconds(50).ps();
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(fluid.deliveries[i].id, exact.deliveries[i].id)
+        << "delivery order must not change at " << i;
+    // Fluid delivers at the burst end: never earlier than the exact time,
+    // and never more than one burst window later.
+    EXPECT_GE(fluid.deliveries[i].at_ps, exact.deliveries[i].at_ps);
+    EXPECT_LE(fluid.deliveries[i].at_ps - exact.deliveries[i].at_ps,
+              window_ps);
+  }
+  // The last frame of the stream ends the last burst: identical finish time.
+  EXPECT_EQ(fluid.deliveries.back().at_ps, exact.deliveries.back().at_ps);
+}
+
+TEST(LinkFidelityTest, BurstFrameCapIsRespected) {
+  des::Scheduler sched;
+  Link::Config cfg = base_cfg(LinkFidelity::kFluid);
+  cfg.burst_frames = 8;
+  cfg.burst_window = des::SimTime::seconds(1.0);  // window never binds
+  Link link(sched, "l", cfg);
+  int delivered = 0;
+  link.set_sink([&](Frame) { ++delivered; });
+  for (int i = 0; i < 80; ++i) link.submit(Frame{{}, 53, 0, kNoHost});
+  sched.run();
+  EXPECT_EQ(delivered, 80);
+  EXPECT_GE(link.bursts_completed(), 10u);  // ceil(80 / 8)
+}
+
+TEST(LinkFidelityTest, OversizedFramesDegenerateToExactTiming) {
+  // Frames longer than the burst window ship one per burst — fluid mode's
+  // timestamps must then be *identical* to exact mode, not approximate.
+  const ModeRun exact = run_mode(LinkFidelity::kExact, 20, 125'000);  // 10 ms
+  const ModeRun fluid = run_mode(LinkFidelity::kFluid, 20, 125'000);
+  ASSERT_EQ(fluid.deliveries.size(), exact.deliveries.size());
+  for (std::size_t i = 0; i < exact.deliveries.size(); ++i)
+    EXPECT_EQ(fluid.deliveries[i].at_ps, exact.deliveries[i].at_ps);
+  EXPECT_EQ(fluid.bursts, 20u);
+}
+
+TEST(LinkFidelityTest, BerDrawsMatchExactModeOrder) {
+  // Per-frame corruption draws happen in queue order in both modes, against
+  // the same per-link RNG stream, so loss patterns are bit-identical.
+  const ModeRun exact = run_mode(LinkFidelity::kExact, 500, 9180, 1e-5);
+  const ModeRun fluid = run_mode(LinkFidelity::kFluid, 500, 9180, 1e-5);
+  EXPECT_GT(exact.corrupted, 0u) << "test needs actual corruption to compare";
+  EXPECT_EQ(fluid.corrupted, exact.corrupted);
+  ASSERT_EQ(fluid.deliveries.size(), exact.deliveries.size());
+  for (std::size_t i = 0; i < exact.deliveries.size(); ++i)
+    EXPECT_EQ(fluid.deliveries[i].id, exact.deliveries[i].id);
+}
+
+TEST(LinkFidelityTest, OutageMidBurstLosesWholeBurst) {
+  des::Scheduler sched;
+  Link link(sched, "l", base_cfg(LinkFidelity::kFluid));
+  int delivered = 0;
+  link.set_sink([&](Frame) { ++delivered; });
+  for (int i = 0; i < 5; ++i) link.submit(Frame{{}, 1250, 0, kNoHost});
+  // Cut the line while the burst is being clocked out: 5 x 1250 B at
+  // 100 Mbit/s is 500 us of wire time; cut at 10 us.
+  sched.schedule_after(des::SimTime::microseconds(10),
+                       [&] { link.set_up(false); });
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.outage_drops(), 5u);
+  EXPECT_EQ(link.burst_pool_in_use(), 0u) << "burst vector must be released";
+  // The line comes back: traffic flows again through the pooled vectors.
+  link.set_up(true);
+  link.submit(Frame{{}, 1250, 0, kNoHost});
+  sched.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.burst_pool_in_use(), 0u);
+  EXPECT_LE(link.burst_pool_high_water(), 2u) << "burst vectors are reused";
+}
+
+// End-to-end accuracy: a TCP bulk transfer across an ATM switch must report
+// goodput within 1% of the exact model when every link runs fluid.
+struct FidelityTcpFixture {
+  des::Scheduler sched;
+  Host a;
+  Host b;
+  AtmSwitch sw;
+  AtmNic nic_a;
+  AtmNic nic_b;
+  VcAllocator vcs;
+  int pa = -1, pb = -1;
+
+  FidelityTcpFixture()
+      : a(sched, "a", 1), b(sched, "b", 2), sw(sched, "sw"),
+        nic_a(sched, a, "a.atm",
+              Link::Config{units::BitRate::mbps(622.0),
+                           des::SimTime::microseconds(250),
+                           units::Bytes{16u << 20}, des::SimTime::zero()},
+              kMtuAtmDefault),
+        nic_b(sched, b, "b.atm",
+              Link::Config{units::BitRate::mbps(622.0),
+                           des::SimTime::microseconds(250),
+                           units::Bytes{16u << 20}, des::SimTime::zero()},
+              kMtuAtmDefault) {
+    const Link::Config port{units::BitRate::mbps(622.0),
+                            des::SimTime::microseconds(250),
+                            units::Bytes{4u << 20}, des::SimTime::zero()};
+    pa = sw.add_port(port);
+    pb = sw.add_port(port);
+    nic_a.uplink().set_sink(sw.ingress(pa));
+    nic_b.uplink().set_sink(sw.ingress(pb));
+    sw.connect_egress(pa, nic_a.ingress());
+    sw.connect_egress(pb, nic_b.ingress());
+    vcs.provision(nic_a, nic_b, {{&sw, pa, pb}});
+    a.add_route(2, &nic_a, 2);
+    b.add_route(1, &nic_b, 1);
+  }
+
+  void set_fidelity(LinkFidelity f) {
+    nic_a.uplink().set_fidelity(f);
+    nic_b.uplink().set_fidelity(f);
+    sw.egress_link(pa).set_fidelity(f);
+    sw.egress_link(pb).set_fidelity(f);
+  }
+};
+
+units::BitRate tcp_goodput(LinkFidelity fid) {
+  FidelityTcpFixture f;
+  f.set_fidelity(fid);
+  TcpConnection conn(f.a, f.b, 100, 200);
+  const units::Bytes size{4u << 20};
+  des::SimTime done = des::SimTime::zero();
+  conn.send(0, size, {}, [&](const std::any&, des::SimTime t) { done = t; });
+  f.sched.run();
+  EXPECT_GT(done.sec(), 0.0);
+  return units::BitRate::bps(static_cast<double>(size.to_bits().count()) /
+                             done.sec());
+}
+
+TEST(LinkFidelityTest, TcpGoodputWithinOnePercentOfExact) {
+  const double exact = tcp_goodput(LinkFidelity::kExact).bps();
+  const double fluid = tcp_goodput(LinkFidelity::kFluid).bps();
+  EXPECT_LE(std::abs(fluid - exact) / exact, 0.01)
+      << "exact " << exact << " bps vs fluid " << fluid << " bps";
+}
+
+}  // namespace
+}  // namespace gtw::net

@@ -68,6 +68,12 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--arg", action="append", default=None, dest="args",
                     help="extra argument to pass instead of the default "
                          "never-matching --benchmark_filter (repeatable)")
+    ap.add_argument("--expect", action="append", default=[],
+                    dest="expected",
+                    help="artifact filename that MUST be produced "
+                         "(repeatable); guards against a bench silently "
+                         "dropping an output while others keep the gate "
+                         "non-vacuous")
     args = ap.parse_args(argv)
 
     cmd = [os.path.abspath(args.bench)]
@@ -88,6 +94,13 @@ def main(argv: list[str]) -> int:
         print(f"determinism-gate: ERROR: no artifacts matching "
               f"{globs} were produced — the gate would "
               f"vacuously pass", file=sys.stderr)
+        return 1
+
+    missing = [name for name in args.expected if name not in run1]
+    if missing:
+        print(f"determinism-gate: ERROR: expected artifacts not produced: "
+              f"{', '.join(missing)} (got: {', '.join(sorted(run1))})",
+              file=sys.stderr)
         return 1
 
     status = 0

@@ -8,6 +8,9 @@
 //   gtw-trace run.gtwt --chrome out.json   convert to Chrome trace-event
 //                                          JSON (Perfetto / chrome://tracing)
 //   gtw-trace run.gtwt --metrics           event-kind and message totals
+//   gtw-trace run.gtwt --obs m.json        DES-engine section from an
+//                                          OBS_*.metrics.json snapshot
+//   gtw-trace OBS_x.metrics.json           engine section alone (no trace)
 //
 // Flags combine; sections print in the order given above.
 #include <cstdint>
@@ -28,9 +31,49 @@ using gtw::trace::TraceStats;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <trace.gtwt> [--profile] [--gantt [cols]] [--msg-matrix]"
-               " [--chrome out.json] [--metrics]\n";
+            << " <trace.gtwt|metrics.json> [--profile] [--gantt [cols]]"
+               " [--msg-matrix] [--chrome out.json] [--metrics]"
+               " [--obs metrics.json]\n";
   return 2;
+}
+
+// Print the engine-core metrics (scheduler calendar, event pool, link burst
+// pools) out of an OBS_*.metrics.json snapshot.  The exporter writes one
+// metric per line as `    "name": value,` so a line scan suffices — no JSON
+// parser needed for our own format.
+int print_obs_engine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "gtw-trace: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::cout << "des engine (" << path << ")\n";
+  bool any = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto q0 = line.find('"');
+    if (q0 == std::string::npos) continue;
+    const auto q1 = line.find('"', q0 + 1);
+    if (q1 == std::string::npos) continue;
+    const std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+    const bool engine =
+        name.rfind("des.sched.", 0) == 0 ||
+        name.find(".burst_pool_") != std::string::npos ||
+        name.find(".bursts_completed") != std::string::npos;
+    if (!engine) continue;
+    auto colon = line.find(':', q1);
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ')) value.erase(0, 1);
+    while (!value.empty() && (value.back() == ',' || value.back() == ' '))
+      value.pop_back();
+    std::cout << "  " << name << ": " << value << "\n";
+    any = true;
+  }
+  if (!any)
+    std::cout << "  (no des.sched.* metrics in snapshot — was the scheduler"
+                 " instrumented?)\n";
+  return 0;
 }
 
 void print_summary(const TraceRecorder& rec) {
@@ -93,9 +136,14 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   if (path == "--help" || path == "-h") return usage(argv[0]);
 
+  // Metrics-snapshot-only mode: the engine section needs no trace file.
+  if (path.size() > 5 && path.rfind(".json") == path.size() - 5)
+    return print_obs_engine(path);
+
   bool profile = false, gantt = false, msg_matrix = false, metrics = false;
   int gantt_cols = 72;
   std::string chrome_out;
+  std::string obs_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile") {
@@ -111,6 +159,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--chrome") {
       if (i + 1 >= argc) return usage(argv[0]);
       chrome_out = argv[++i];
+    } else if (arg == "--obs") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      obs_path = argv[++i];
     } else {
       std::cerr << "gtw-trace: unknown flag '" << arg << "'\n";
       return usage(argv[0]);
@@ -128,6 +179,9 @@ int main(int argc, char** argv) {
   const bool any_section =
       profile || gantt || msg_matrix || metrics || !chrome_out.empty();
   if (!any_section) print_summary(rec);
+  if (!obs_path.empty()) {
+    if (const int rc = print_obs_engine(obs_path); rc != 0) return rc;
+  }
 
   if (profile) std::cout << stats.profile();
   if (gantt) std::cout << stats.gantt(gantt_cols);

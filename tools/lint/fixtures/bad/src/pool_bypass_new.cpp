@@ -1,0 +1,14 @@
+// Fixture: heap-allocating pooled event/packet records from library code.
+// The path contains "src/", which is how the real tree is gated.
+#include <memory>
+
+struct Entry;
+namespace net { struct Frame; struct IpPacket; }
+
+void leaky_hot_path() {
+  Entry* e = new Entry;                              // BAD
+  auto f = new net::Frame();                         // BAD
+  auto p = std::make_unique<net::IpPacket>();        // BAD
+  auto s = std::make_shared<net::Frame>();           // BAD
+  (void)e; (void)f; (void)p; (void)s;
+}

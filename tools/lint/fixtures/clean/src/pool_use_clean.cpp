@@ -1,0 +1,29 @@
+// Fixture: the sanctioned patterns — slots come from the slab pool, value
+// types move by value, unrelated types may still be heap-allocated, and a
+// deliberate exception carries the in-diff annotation.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace net { struct Frame { std::uint32_t wire_bytes = 0; }; }
+
+template <typename T> struct SlabPool {
+  std::uint32_t acquire() { return 0; }
+  void release(std::uint32_t) {}
+  T& operator[](std::uint32_t);
+};
+
+struct EntryLog {};  // name merely *contains* Entry: not a pooled record
+
+void pooled_hot_path(SlabPool<net::Frame>& pool, std::vector<net::Frame>& q) {
+  const std::uint32_t slot = pool.acquire();  // fine: pool slot
+  q.push_back(net::Frame{53});                // fine: by value
+  pool.release(slot);
+  auto log = std::make_unique<EntryLog>();    // fine: not an event record
+  (void)log;
+}
+
+void sanctioned_exception() {
+  auto f = new net::Frame;  // gtw-lint: allow(pool-bypass-new)
+  delete f;
+}

@@ -56,6 +56,16 @@ machine-checked source rules:
                         caller prints.  Benches, examples, tests and tools
                         print freely; snprintf (string building) and
                         std::cerr (diagnostics) stay legal everywhere.
+  pool-bypass-new       `new`/make_unique/make_shared of an event or packet
+                        record (Entry, Frame, IpPacket) in src/.  These are
+                        the per-event hot-path types: they live in
+                        des::SlabPool arenas (DESIGN.md §10) so the
+                        schedule/fire and burst cycles are allocation-free
+                        and slot indices are stable run-to-run.  A stray
+                        heap allocation reintroduces per-event malloc cost
+                        and address-dependent state.  Benches may build
+                        baseline replicas freely; src/ must go through the
+                        pools.
 
 Suppression: append `// gtw-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place it alone on the line above.  Allowlist annotations
@@ -131,6 +141,12 @@ RAW_METRIC_PRINT_RE = re.compile(
     r"|(?<![\w:])printf\s*\("
     r"|(?<![\w:])fprintf\s*\(\s*stdout\b"
     r"|(?<![\w:])puts\s*\(")
+
+# pool-bypass-new: heap allocation of pooled event/packet record types.
+POOL_BYPASS_RE = re.compile(
+    r"\bnew\s+(?:[\w:]+\s*::\s*)?(?:Entry|Frame|IpPacket)\b"
+    r"|\bmake_(?:unique|shared)\s*<\s*(?:[\w:]+\s*::\s*)?"
+    r"(?:Entry|Frame|IpPacket)\s*[>\[]")
 
 
 @dataclass
@@ -315,13 +331,18 @@ def check_file(path: str, relpath: str) -> list[Finding]:
                    "the simulator through the obs exporters "
                    "(write_metrics_json/csv, write_chrome_trace) or as a "
                    "returned string the caller prints")
+        if library_code and POOL_BYPASS_RE.search(line):
+            report(lineno, "pool-bypass-new",
+                   "heap allocation of a pooled event/packet record; the "
+                   "per-event hot path is allocation-free — acquire slots "
+                   "from the owning des::SlabPool instead")
     return findings
 
 
 RULES = [
     "unordered-container", "unordered-iter", "raw-entropy", "wall-clock",
     "pointer-order", "past-schedule", "raw-rate-double",
-    "unitless-size-param", "raw-metric-print",
+    "unitless-size-param", "raw-metric-print", "pool-bypass-new",
 ]
 
 

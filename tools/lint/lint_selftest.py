@@ -33,9 +33,11 @@ EXPECTATIONS = {
     "bad/raw_rate_double.cpp": {"raw-rate-double": 4},
     "bad/net/unitless_size_param.cpp": {"unitless-size-param": 2},
     "bad/src/raw_metric_print.cpp": {"raw-metric-print": 4},
+    "bad/src/pool_bypass_new.cpp": {"pool-bypass-new": 4},
     "clean/clean.cpp": {},
     "clean/allowed.cpp": {},
     "clean/src/metric_print_clean.cpp": {},
+    "clean/src/pool_use_clean.cpp": {},
 }
 
 
