@@ -60,7 +60,12 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
     st->bytes = bytes;
     st->msg = std::move(msg);
     st->next_timeout = retry_.timeout;
+    // The library may retransmit this message, so the application buffer
+    // stays pinned: on_sent is deferred to the first successful delivery
+    // (and never fires if the message is reported unreachable).
+    st->on_sent = std::move(on_sent);
     wan_attempt(std::move(st));
+    return;
   } else {
     mc_->wan_send(src.machine, dst.machine, units::Bytes{bytes},
                   [this, dst_rank, msg = std::move(msg)]() mutable {
@@ -74,6 +79,12 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
   ++st->attempts;
   mc_->wan_send(st->src_machine, st->dst_machine, units::Bytes{st->bytes},
                 [this, st]() {
+    if (st->abandoned) {
+      // The unreachable report already fired; the application has been told
+      // this message failed, so a tardy copy must not resurrect it.
+      ++reliability_.dropped_after_unreachable;
+      return;
+    }
     if (st->delivered) {
       // An earlier attempt's bytes finally made it through after a retry
       // was already issued (the simulated TCP is reliable, just late).
@@ -82,11 +93,17 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
     }
     st->delivered = true;
     st->watchdog.cancel();
+    if (st->on_sent) {
+      Callback sent = std::move(st->on_sent);
+      st->on_sent = nullptr;
+      sent();
+    }
     deliver(st->dst_rank, std::move(st->msg));
   });
   st->watchdog = mc_->scheduler().schedule_after(st->next_timeout, [this, st]() {
     if (st->delivered) return;
     if (st->attempts > retry_.max_retries) {
+      st->abandoned = true;
       ++reliability_.unreachable_reports;
       if (unreachable_)
         unreachable_(st->src_rank, st->dst_rank, st->attempts);
@@ -96,6 +113,8 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
     ++peer_traffic_[{st->src_rank, st->dst_rank}].retries;
     st->next_timeout =
         des::SimTime::seconds(st->next_timeout.sec() * retry_.backoff);
+    if (st->next_timeout > retry_.max_timeout)
+      st->next_timeout = retry_.max_timeout;
     wan_attempt(st);
   });
 }

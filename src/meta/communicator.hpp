@@ -70,6 +70,10 @@ struct RetryPolicy {
   des::SimTime timeout = des::SimTime::seconds(2);  // first-attempt watchdog
   int max_retries = 3;                              // beyond the first send
   double backoff = 2.0;                             // timeout multiplier
+  // Ceiling on the backed-off watchdog timeout.  Without it the doubling
+  // grows without bound and a high-retry policy ends up waiting simulated
+  // hours between attempts long after the path has recovered.
+  des::SimTime max_timeout = des::SimTime::seconds(30);
 };
 
 class Communicator {
@@ -86,8 +90,12 @@ class Communicator {
   }
 
   // --- point to point -----------------------------------------------------
-  // `on_sent` fires at local completion (buffer reusable).  Delivery drives
-  // the matching recv's callback at the receiver's simulated time.
+  // `on_sent` fires at local completion (buffer reusable).  For sends not
+  // guarded by a retry watchdog that is immediate — the transport owns the
+  // bytes from here on.  Under a retry policy the library may retransmit, so
+  // the buffer stays pinned: `on_sent` is deferred to the first successful
+  // delivery and never fires for a message reported unreachable.  Delivery
+  // drives the matching recv's callback at the receiver's simulated time.
   void send(int src_rank, int dst_rank, int tag, std::uint64_t bytes,
             std::any data = {}, Callback on_sent = nullptr);
   void send_typed(int src_rank, int dst_rank, int tag, std::uint64_t count,
@@ -156,6 +164,9 @@ class Communicator {
     std::uint64_t wan_retries = 0;           // watchdog-triggered resends
     std::uint64_t duplicates_suppressed = 0; // late originals after a retry
     std::uint64_t unreachable_reports = 0;   // messages given up on
+    // Late deliveries of a message already reported unreachable: dropped, so
+    // the application never sees a recv for a message it was told failed.
+    std::uint64_t dropped_after_unreachable = 0;
   };
   const ReliabilityStats& reliability() const { return reliability_; }
 
@@ -199,8 +210,10 @@ class Communicator {
     Message msg;
     int attempts = 0;
     bool delivered = false;
+    bool abandoned = false;  // unreachable reported; late copies are dropped
     des::SimTime next_timeout;
     des::EventHandle watchdog;
+    Callback on_sent;  // deferred until the first successful delivery
   };
 
   void deliver(int dst_rank, Message msg);

@@ -23,6 +23,15 @@ int Metacomputer::allocate_pes(int machine, int n) {
 
 void Metacomputer::link_machines(int ma, int mb, net::TcpConfig cfg,
                                  std::uint16_t port_base) {
+  // Historical single-connection entry point: a pass-through PathTransport
+  // reproduces the old direct-connection event sequence exactly.
+  PathConfig pc;
+  pc.tcp = cfg;
+  link_machines(ma, mb, pc, port_base);
+}
+
+void Metacomputer::link_machines(int ma, int mb, PathConfig cfg,
+                                 std::uint16_t port_base) {
   if (ma == mb) throw std::invalid_argument("link_machines: same machine");
   const auto key = std::minmax(ma, mb);
   MachineSpec& lo = machines_.at(static_cast<std::size_t>(key.first));
@@ -30,11 +39,16 @@ void Metacomputer::link_machines(int ma, int mb, net::TcpConfig cfg,
   if (lo.frontend == nullptr || hi.frontend == nullptr)
     throw std::runtime_error("link_machines: machine has no front-end host");
   WanLink link;
-  link.conn = std::make_unique<net::TcpConnection>(
-      *lo.frontend, *hi.frontend, port_base,
-      static_cast<std::uint16_t>(port_base + 1), cfg);
+  link.path = std::make_unique<PathTransport>(sched_, *lo.frontend,
+                                              *hi.frontend, port_base, cfg);
   link.side_of_lo = 0;
   wan_[{key.first, key.second}] = std::move(link);
+}
+
+PathTransport* Metacomputer::wan_path(int ma, int mb) {
+  const auto key = std::minmax(ma, mb);
+  auto it = wan_.find({key.first, key.second});
+  return it == wan_.end() ? nullptr : it->second.path.get();
 }
 
 bool Metacomputer::linked(int ma, int mb) const {
@@ -53,11 +67,8 @@ void Metacomputer::wan_send(int from_machine, int to_machine,
                                              : 1 - it->second.side_of_lo;
   ++wan_messages_;
   wan_bytes_ += amount.count() + kMetaHeaderBytes;
-  it->second.conn->send(
-      side, amount + units::Bytes{kMetaHeaderBytes}, {},
-      [cb = std::move(on_delivered)](const std::any&, des::SimTime) {
-        if (cb) cb();
-      });
+  it->second.path->send(side, amount + units::Bytes{kMetaHeaderBytes},
+                        std::move(on_delivered));
 }
 
 des::SimTime Metacomputer::intra_cost(int machine_id,

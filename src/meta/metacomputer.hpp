@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "des/scheduler.hpp"
+#include "meta/path_transport.hpp"
 #include "net/host.hpp"
 #include "net/tcp.hpp"
 #include "units/units.hpp"
@@ -58,10 +59,17 @@ class Metacomputer {
     return pe_cursor_.at(static_cast<std::size_t>(machine));
   }
 
-  // Create the WAN router connection between two machines' front-ends.
-  // Both must have front-end hosts routed to each other on the testbed.
+  // Create the WAN router path between two machines' front-ends.  Both must
+  // have front-end hosts routed to each other on the testbed.  The TcpConfig
+  // overload keeps the historical single-connection behaviour (a pass-through
+  // PathTransport); the PathConfig overload opens a full multi-stream path.
   void link_machines(int ma, int mb, net::TcpConfig cfg,
                      std::uint16_t port_base);
+  void link_machines(int ma, int mb, PathConfig cfg, std::uint16_t port_base);
+
+  // The transport carrying WAN traffic between two linked machines (for
+  // instrumentation and benchmarks); nullptr if the pair was never linked.
+  PathTransport* wan_path(int ma, int mb);
 
   // Send `amount` of application data between machines over the router
   // connection; `on_delivered` fires at the receiving front-end's time.
@@ -80,8 +88,8 @@ class Metacomputer {
 
  private:
   struct WanLink {
-    std::unique_ptr<net::TcpConnection> conn;
-    int side_of_lo = 0;  // connection side owned by the lower machine id
+    std::unique_ptr<PathTransport> path;
+    int side_of_lo = 0;  // path side owned by the lower machine id
   };
 
   des::Scheduler& sched_;

@@ -156,6 +156,65 @@ void instrument_communicator(Registry& reg, const meta::Communicator& comm,
   reg.probe_counter(p + "unreachable_reports", [&comm] {
     return comm.reliability().unreachable_reports;
   });
+  reg.probe_counter(p + "dropped_after_unreachable", [&comm] {
+    return comm.reliability().dropped_after_unreachable;
+  });
+}
+
+void instrument_path_transport(Registry& reg, const meta::PathTransport& path,
+                               const std::string& name) {
+  const std::string p = "meta.path." + name + ".";
+  for (int side = 0; side < 2; ++side) {
+    const std::string sp = p + "side" + std::to_string(side) + ".";
+    const meta::PathTransport::Stats& st = path.stats(side);
+    reg.probe_counter(sp + "messages", [&st] { return st.messages; });
+    reg.probe_counter(sp + "bytes", [&st] { return st.bytes; });
+    reg.probe_counter(sp + "chunks", [&st] { return st.chunks; });
+    reg.probe_counter(sp + "chunk_resends",
+                      [&st] { return st.chunk_resends; });
+    reg.probe_counter(sp + "duplicate_chunks",
+                      [&st] { return st.duplicate_chunks; });
+    reg.probe_counter(sp + "stream_resets",
+                      [&st] { return st.stream_resets; });
+    reg.probe_counter(sp + "paced_delays", [&st] { return st.paced_delays; });
+    reg.probe_counter(sp + "delivered_messages",
+                      [&st] { return st.delivered_messages; });
+    reg.probe_counter(sp + "delivered_bytes",
+                      [&st] { return st.delivered_bytes; });
+    reg.probe_gauge(sp + "reassembly_bytes", [&st] {
+      return static_cast<double>(st.reassembly_bytes);
+    });
+    reg.probe_gauge(sp + "reassembly_peak_bytes", [&st] {
+      return static_cast<double>(st.reassembly_peak_bytes);
+    });
+    reg.probe_gauge(sp + "goodput_mbps", [&path, side] {
+      return path.goodput(side).bps() / 1e6;
+    });
+    for (int s = 0; s < path.stream_count(); ++s) {
+      const std::string stp = sp + "stream" + std::to_string(s) + ".";
+      reg.probe_counter(stp + "chunks", [&path, side, s] {
+        return path.stream_stats(side, s).chunks;
+      });
+      reg.probe_counter(stp + "bytes", [&path, side, s] {
+        return path.stream_stats(side, s).bytes;
+      });
+      reg.probe_counter(stp + "resets", [&path, side, s] {
+        return path.stream_stats(side, s).resets;
+      });
+      reg.probe_counter(stp + "tcp_retransmits", [&path, side, s] {
+        return path.stream_stats(side, s).tcp_retransmits;
+      });
+      reg.probe_counter(stp + "tcp_timeouts", [&path, side, s] {
+        return path.stream_stats(side, s).tcp_timeouts;
+      });
+    }
+  }
+  reg.probe_gauge(p + "active_streams", [&path] {
+    return static_cast<double>(path.active_streams());
+  });
+  reg.probe_gauge(p + "stream_window_bytes", [&path] {
+    return static_cast<double>(path.stream_window().count());
+  });
 }
 
 void bridge_communicator_peers(Registry& reg, const meta::Communicator& comm,

@@ -66,9 +66,19 @@ void instrument_tcp(Registry& reg, const net::TcpConnection& conn,
                     const std::string& name);
 
 // meta.<name>.{messages_sent,bytes_sent,wan_retries,duplicates_suppressed,
-// unreachable_reports}
+// unreachable_reports,dropped_after_unreachable}
 void instrument_communicator(Registry& reg, const meta::Communicator& comm,
                              const std::string& name);
+
+// meta.path.<name>.side<s>.{messages,bytes,chunks,chunk_resends,
+// duplicate_chunks,stream_resets,paced_delays,delivered_messages,
+// delivered_bytes,reassembly_bytes,reassembly_peak_bytes,goodput_mbps}
+// per sending side, meta.path.<name>.side<s>.stream<i>.{chunks,bytes,resets,
+// tcp_retransmits,tcp_timeouts} per pooled stream, and path-wide
+// {active_streams,stream_window_bytes} gauges from the adaptive controller.
+// Probes are registered for the connection pool present at call time.
+void instrument_path_transport(Registry& reg, const meta::PathTransport& path,
+                               const std::string& name);
 
 // meta.<name>.peer.<src>_to_<dst>.{messages,bytes,retries} for every rank
 // pair that exchanged point-to-point traffic; call after (or late in) the

@@ -49,6 +49,11 @@ units::BitRate Testbed::wan_rate() const {
   return units::BitRate::bps(0.0);
 }
 
+des::SimTime Testbed::wan_rtt() const {
+  return des::SimTime::seconds(2.0 * opts_.distance_km *
+                               net::kFiberDelaySecPerKm);
+}
+
 net::Host* Testbed::add_host(const std::string& name, net::HostCosts costs) {
   const net::HostId id = static_cast<net::HostId>(host_store_.size() + 1);
   host_store_.push_back(std::make_unique<net::Host>(sched_, name, id, costs));

@@ -52,6 +52,9 @@ class Testbed {
   des::Scheduler& scheduler() { return sched_; }
   const TestbedOptions& options() const { return opts_; }
   units::BitRate wan_rate() const;
+  // Round-trip propagation of the WAN fibre (2x one-way trunk delay) —
+  // what transport-layer sweeps vary when they scan RTT.
+  des::SimTime wan_rtt() const;
 
   // --- Jülich ---
   net::Host& t3e600() { return *t3e600_; }     // 512-PE Cray T3E-600

@@ -351,10 +351,92 @@ TEST(CommunicatorRetryTest, ReportsUnreachableWhenOutageOutlastsRetries) {
   EXPECT_EQ(reported_src, 0);
   EXPECT_EQ(reported_dst, 1);
   EXPECT_EQ(reported_attempts, 3);  // original + two retries
-  // The transport is still reliable underneath: once the link heals the
-  // backlog drains, the first arrival delivers, the rest are duplicates.
-  EXPECT_EQ(received, 1);
-  EXPECT_EQ(comm.reliability().duplicates_suppressed, 2u);
+  // The transport is still reliable underneath, so once the link heals the
+  // backlog drains — but the application was already told this message
+  // failed, so every late copy is dropped, none delivered.
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(comm.reliability().duplicates_suppressed, 0u);
+  EXPECT_EQ(comm.reliability().dropped_after_unreachable, 3u);
+}
+
+TEST(CommunicatorRetryTest, BackoffClampedByMaxTimeout) {
+  RetryFixture f;
+  net::FaultPlan plan(f.sched);
+  plan.link_down(f.wan_toward_b(), ms(1), ms(2000));
+
+  Communicator comm(f.mc, {{f.ma, 0}, {f.mb, 0}});
+  // Aggressive backoff against a tight ceiling: watchdog intervals are
+  // 50, then 200->clamped to 100, and 100 thereafter.
+  comm.set_retry_policy(
+      {ms(50), /*max_retries=*/4, /*backoff=*/4.0, /*max_timeout=*/ms(100)});
+
+  SimTime reported_at = SimTime::zero();
+  comm.on_unreachable(
+      [&](int, int, int) { reported_at = f.sched.now(); });
+  comm.send(0, 1, 7, 50'000);
+  f.sched.run();
+
+  EXPECT_EQ(comm.reliability().unreachable_reports, 1u);
+  EXPECT_EQ(comm.reliability().wan_retries, 4u);
+  // 50 + 100 + 100 + 100 + 100 ms of clamped watchdogs; the unclamped
+  // series (50 + 200 + 800 + 3200 + 12800) would report at 17.05 s.
+  EXPECT_EQ(reported_at, ms(450));
+}
+
+TEST(CommunicatorRetryTest, OnSentImmediateWithoutRetryPolicy) {
+  RetryFixture f;
+  Communicator comm(f.mc, {{f.ma, 0}, {f.mb, 0}});
+  bool sent = false;
+  comm.send(0, 1, 3, 10'000, {}, [&] { sent = true; });
+  // No watchdog guards this send: the transport owns the bytes as soon as
+  // send() returns, so local completion is immediate.
+  EXPECT_TRUE(sent);
+}
+
+TEST(CommunicatorRetryTest, OnSentDeferredToFirstDeliveryUnderRetry) {
+  RetryFixture f;
+  net::FaultPlan plan(f.sched);
+  plan.link_down(f.wan_toward_b(), ms(1), ms(400));
+
+  Communicator comm(f.mc, {{f.ma, 0}, {f.mb, 0}});
+  comm.set_retry_policy({ms(150), /*max_retries=*/3, /*backoff=*/2.0});
+
+  int sent_count = 0;
+  SimTime sent_at = SimTime::zero();
+  SimTime received_at = SimTime::zero();
+  comm.recv(1, 0, 7, [&](const Message&) { received_at = f.sched.now(); });
+  comm.send(0, 1, 7, 100'000, {}, [&] {
+    ++sent_count;
+    sent_at = f.sched.now();
+  });
+  // The message may be retransmitted, so the buffer is still pinned.
+  EXPECT_EQ(sent_count, 0);
+  f.sched.run();
+
+  // Fires exactly once, at first successful delivery — a late duplicate
+  // after the retry must not re-fire it.
+  EXPECT_EQ(sent_count, 1);
+  EXPECT_GE(comm.reliability().duplicates_suppressed, 1u);
+  EXPECT_EQ(sent_at, received_at);
+  EXPECT_GT(sent_at, ms(400));
+}
+
+TEST(CommunicatorRetryTest, OnSentNeverFiresForUnreachableMessage) {
+  RetryFixture f;
+  net::FaultPlan plan(f.sched);
+  plan.link_down(f.wan_toward_b(), ms(1), ms(1000));
+
+  Communicator comm(f.mc, {{f.ma, 0}, {f.mb, 0}});
+  comm.set_retry_policy({ms(50), /*max_retries=*/2, /*backoff=*/2.0});
+
+  bool sent = false;
+  comm.send(0, 1, 7, 50'000, {}, [&] { sent = true; });
+  f.sched.run();
+
+  EXPECT_EQ(comm.reliability().unreachable_reports, 1u);
+  // The message was reported failed; claiming local completion afterwards
+  // would tell the application its data went out when it never will.
+  EXPECT_FALSE(sent);
 }
 
 TEST(CommunicatorRetryTest, CleanPathNeverRetries) {

@@ -1,0 +1,24 @@
+// Fixture: raw TcpConnection use inside src/meta/ outside path_transport —
+// every mention below (including the stub declaration) must fire
+// meta-raw-tcp: the WAN path belongs to meta::PathTransport.
+#include <memory>
+
+namespace gtw::net {
+struct TcpConnection {};  // finding: even declaring it here is off-limits
+}  // namespace gtw::net
+
+namespace gtw::meta {
+
+struct RogueRouter {
+  std::unique_ptr<net::TcpConnection> conn;  // finding 1: member
+};
+
+void open_side_channel(RogueRouter& r) {
+  r.conn = std::make_unique<net::TcpConnection>();  // finding 2: construct
+}
+
+net::TcpConnection* peek(RogueRouter& r) {  // finding 3: raw handle
+  return r.conn.get();
+}
+
+}  // namespace gtw::meta

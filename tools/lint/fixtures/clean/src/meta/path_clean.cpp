@@ -1,0 +1,23 @@
+// Fixture: src/meta/ code that stays clean under meta-raw-tcp — it talks
+// TcpConfig (parameters, fine everywhere) and routes traffic through the
+// path-transport abstraction instead of holding a raw connection.  The
+// path_transport translation unit itself is exempt by path; this file
+// proves ordinary meta code needs no exemption.
+namespace gtw::net {
+struct TcpConfig {
+  int initial_cwnd_segments = 2;
+};
+}  // namespace gtw::net
+
+namespace gtw::meta {
+
+struct PathHandle {};  // stand-in for meta::PathTransport
+
+struct Router {
+  PathHandle* path = nullptr;
+  net::TcpConfig per_stream;  // naming the config type is always legal
+};
+
+void send_over_path(Router& r) { (void)r.path; }
+
+}  // namespace gtw::meta

@@ -66,6 +66,15 @@ machine-checked source rules:
                         and address-dependent state.  Benches may build
                         baseline replicas freely; src/ must go through the
                         pools.
+  meta-raw-tcp          `TcpConnection` named in src/meta/ outside
+                        path_transport.  The meta layer reaches the WAN
+                        through meta::PathTransport only (striping, pacing,
+                        stall recovery, adaptive tuning live there); a raw
+                        connection constructed elsewhere silently bypasses
+                        all of that and fragments the per-path accounting.
+                        A pass-through PathConfig gives byte-identical
+                        single-stream behaviour, so there is no reason to
+                        hold a bare connection.
 
 Suppression: append `// gtw-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place it alone on the line above.  Allowlist annotations
@@ -147,6 +156,10 @@ POOL_BYPASS_RE = re.compile(
     r"\bnew\s+(?:[\w:]+\s*::\s*)?(?:Entry|Frame|IpPacket)\b"
     r"|\bmake_(?:unique|shared)\s*<\s*(?:[\w:]+\s*::\s*)?"
     r"(?:Entry|Frame|IpPacket)\s*[>\[]")
+
+# meta-raw-tcp: any mention of the raw connection type (member, local,
+# make_unique, include-for-use) inside src/meta/ outside path_transport.
+META_RAW_TCP_RE = re.compile(r"\bTcpConnection\b")
 
 
 @dataclass
@@ -264,6 +277,10 @@ def check_file(path: str, relpath: str) -> list[Finding]:
     # raw-metric-print guards library code; benches/examples/tests/tools
     # are the layers that legitimately print.
     library_code = in_module(relpath, "src/")
+    # meta-raw-tcp: src/meta/ reaches the WAN through PathTransport only;
+    # path_transport itself is the one legitimate holder of raw connections.
+    meta_wan_guard = (in_module(relpath, "src/meta/")
+                      and not in_module(relpath, "path_transport"))
 
     unordered_names: set[str] = set()
     for lineno, line in enumerate(code, start=1):
@@ -336,6 +353,12 @@ def check_file(path: str, relpath: str) -> list[Finding]:
                    "heap allocation of a pooled event/packet record; the "
                    "per-event hot path is allocation-free — acquire slots "
                    "from the owning des::SlabPool instead")
+        if meta_wan_guard and META_RAW_TCP_RE.search(line):
+            report(lineno, "meta-raw-tcp",
+                   "raw TcpConnection in src/meta/ outside PathTransport; "
+                   "the meta layer's WAN traffic goes through "
+                   "meta::PathTransport (a pass-through PathConfig keeps "
+                   "single-stream behaviour byte-identical)")
     return findings
 
 
@@ -343,6 +366,7 @@ RULES = [
     "unordered-container", "unordered-iter", "raw-entropy", "wall-clock",
     "pointer-order", "past-schedule", "raw-rate-double",
     "unitless-size-param", "raw-metric-print", "pool-bypass-new",
+    "meta-raw-tcp",
 ]
 
 

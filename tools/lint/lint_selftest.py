@@ -34,10 +34,12 @@ EXPECTATIONS = {
     "bad/net/unitless_size_param.cpp": {"unitless-size-param": 2},
     "bad/src/raw_metric_print.cpp": {"raw-metric-print": 4},
     "bad/src/pool_bypass_new.cpp": {"pool-bypass-new": 4},
+    "bad/src/meta/raw_tcp.cpp": {"meta-raw-tcp": 4},
     "clean/clean.cpp": {},
     "clean/allowed.cpp": {},
     "clean/src/metric_print_clean.cpp": {},
     "clean/src/pool_use_clean.cpp": {},
+    "clean/src/meta/path_clean.cpp": {},
 }
 
 
