@@ -1,79 +1,18 @@
-// Simulated-time representation for the Gigabit Testbed West simulator.
+// des::SimTime — the simulated-time quantity, re-exported from src/units/.
 //
-// Time is an integer count of picoseconds.  At 2.4 Gbit/s an ATM cell lasts
-// ~176.7 ns, so nanosecond resolution would accumulate rounding error over
-// the millions of cells in a bulk transfer; picoseconds keep serialization
-// arithmetic exact to ~0.2% of a cell and still cover ~106 days of simulated
-// time in a signed 64-bit value.
+// SimTime is a dimensioned quantity like Bytes or BitRate, so its definition
+// lives at the bottom of the module DAG in units/time.hpp (units depends on
+// nothing; see tools/lint/layers.toml).  The DES layer owns the simulated
+// *clock* — des::Scheduler::now() — and historically owned the type too, so
+// the whole tree spells it des::SimTime.  This alias keeps that spelling
+// canonical for scheduler-facing code.
 #pragma once
 
-#include <cstdint>
-#include <compare>
-#include <limits>
-#include <string>
+#include "units/time.hpp"
 
 namespace gtw::des {
 
-class SimTime {
- public:
-  constexpr SimTime() = default;
-
-  static constexpr SimTime zero() { return SimTime{0}; }
-  static constexpr SimTime max() {
-    return SimTime{std::numeric_limits<std::int64_t>::max()};
-  }
-
-  static constexpr SimTime picoseconds(std::int64_t ps) { return SimTime{ps}; }
-  static constexpr SimTime nanoseconds(std::int64_t ns) {
-    return SimTime{ns * 1'000};
-  }
-  static constexpr SimTime microseconds(std::int64_t us) {
-    return SimTime{us * 1'000'000};
-  }
-  static constexpr SimTime milliseconds(std::int64_t ms) {
-    return SimTime{ms * 1'000'000'000};
-  }
-  static constexpr SimTime seconds(double s) {
-    return SimTime{static_cast<std::int64_t>(s * 1e12 + (s >= 0 ? 0.5 : -0.5))};
-  }
-
-  constexpr std::int64_t ps() const { return ps_; }
-  constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
-  constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
-  constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
-  constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
-
-  friend constexpr SimTime operator+(SimTime a, SimTime b) {
-    return SimTime{a.ps_ + b.ps_};
-  }
-  friend constexpr SimTime operator-(SimTime a, SimTime b) {
-    return SimTime{a.ps_ - b.ps_};
-  }
-  constexpr SimTime& operator+=(SimTime o) {
-    ps_ += o.ps_;
-    return *this;
-  }
-  constexpr SimTime& operator-=(SimTime o) {
-    ps_ -= o.ps_;
-    return *this;
-  }
-  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
-    return SimTime{a.ps_ * k};
-  }
-  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
-
-  friend constexpr auto operator<=>(SimTime, SimTime) = default;
-
-  // Human-readable rendering with an auto-selected unit, e.g. "1.374 s".
-  std::string to_string() const;
-
- private:
-  constexpr explicit SimTime(std::int64_t ps) : ps_(ps) {}
-  std::int64_t ps_ = 0;
-};
-
-// Exact serialization time of `bytes` at `bits_per_second` (rounded up to
-// the next picosecond so repeated sends never run ahead of the wire).
-SimTime transmission_time(std::uint64_t bytes, double bits_per_second);
+using SimTime = units::SimTime;
+using units::transmission_time;
 
 }  // namespace gtw::des

@@ -302,15 +302,13 @@ void PathTransport::on_controller_tick() {
     // in-flight allowance so resets stay cheap.
     clean_intervals_ = 0;
     active_streams_ = std::min(active_streams_ + 1, cfg_.streams);
-    stream_window_ = std::max(
-        units::Bytes{stream_window_.count() / 2}, cfg_.chunk_bytes);
+    stream_window_ = std::max(stream_window_ / 2, cfg_.chunk_bytes);
   } else {
     // Clean interval: re-open the window multiplicatively; after a few
     // consecutive clean intervals release surplus streams back to the pool
     // (a single healthy stream saturates the path by itself).
     stream_window_ = std::min(
-        units::Bytes{stream_window_.count() * 2},
-        std::max(cfg_.stream_window, cfg_.chunk_bytes));
+        stream_window_ * 2, std::max(cfg_.stream_window, cfg_.chunk_bytes));
     if (++clean_intervals_ >= 3 && active_streams_ > cfg_.min_streams) {
       --active_streams_;
       clean_intervals_ = 0;

@@ -31,6 +31,7 @@ Pinger::Pinger(Host& src, HostId dst, std::uint16_t dst_port, int count,
 
 Pinger::~Pinger() {
   src_.unbind(IpProto::kUdp, src_port_);
+  tick_.cancel();
   timeout_.cancel();
 }
 
@@ -68,7 +69,7 @@ void Pinger::send_next() {
   ++next_seq_;
   ++report_.sent;
   src_.send_datagram(std::move(pkt));
-  src_.scheduler().schedule_after(interval_, [this]() { send_next(); });
+  tick_ = src_.scheduler().schedule_after(interval_, [this]() { send_next(); });
 }
 
 void Pinger::finish() {

@@ -69,7 +69,8 @@ class Pinger {
   PingReport report_;
   std::map<std::uint32_t, des::SimTime> outstanding_;  // seq -> sent time
   std::uint32_t next_seq_ = 0;
-  des::EventHandle timeout_;
+  des::EventHandle tick_;     // next scheduled send_next()
+  des::EventHandle timeout_;  // straggler grace period after the last send
   std::function<void(const PingReport&)> done_;
 };
 

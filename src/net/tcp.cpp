@@ -335,8 +335,7 @@ BulkTransferResult run_bulk_transfer(des::Scheduler& sched, Host& a, Host& b,
   out.sender_stats = conn.stats(0);
   if (finished && done > start) {
     out.duration = done - start;
-    out.goodput = units::BitRate::bps(static_cast<double>(amount.count()) *
-                                      8.0 / out.duration.sec());
+    out.goodput = units::per(amount.to_bits(), out.duration);
   }
   return out;
 }

@@ -62,11 +62,15 @@ constexpr std::uint32_t aal5_wire_bytes(std::uint32_t pdu_bytes) {
   return aal5_cells(pdu_bytes) * kAtmCellBytes;
 }
 
-// Typed cell packing: the preferred entry points for new code.
+// Typed cell packing: the preferred entry points for new code.  These are
+// the unit-system boundary itself — the typed wrappers over the raw AAL5
+// framing arithmetic above — so extracting the raw count here is the point.
 constexpr units::Cells aal5_cells(units::Bytes pdu) {
+  // gtw-lint: allow(unit-escape) — conversion-layer wrapper over raw aal5_cells()
   return units::Cells{aal5_cells(static_cast<std::uint32_t>(pdu.count()))};
 }
 constexpr units::Bytes aal5_wire_bytes(units::Bytes pdu) {
+  // gtw-lint: allow(unit-escape) — conversion-layer wrapper over raw aal5_wire_bytes()
   return units::Bytes{aal5_wire_bytes(static_cast<std::uint32_t>(pdu.count()))};
 }
 

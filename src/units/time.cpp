@@ -1,9 +1,9 @@
-#include "des/time.hpp"
+#include "units/time.hpp"
 
 #include <cmath>
 #include <cstdio>
 
-namespace gtw::des {
+namespace gtw::units {
 
 std::string SimTime::to_string() const {
   const double s = sec();
@@ -25,4 +25,4 @@ SimTime transmission_time(std::uint64_t bytes, double bits_per_second) {
   return SimTime::picoseconds(static_cast<std::int64_t>(std::ceil(ps)));
 }
 
-}  // namespace gtw::des
+}  // namespace gtw::units

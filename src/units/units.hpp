@@ -2,7 +2,7 @@
 //
 // Every headline number this reproduction must match — SDH payload
 // fractions, ATM cell tax, HiPPI vs OC-12 throughput, FIRE delay budgets —
-// is a unit computation.  Outside des::SimTime the tree used to pass raw
+// is a unit computation.  Outside SimTime (units/time.hpp) the tree used to pass raw
 // doubles and integers: net spoke bit/s while exec spoke byte/s, and sizes
 // were bare uint64_t that were sometimes bytes and sometimes bits.  This
 // header makes such a mix-up a compile error:
@@ -15,9 +15,9 @@
 //
 //   Bytes   -> Bits      only via the named Bytes::to_bits()
 //   ByteRate<-> BitRate  only via to_bit_rate() / to_byte_rate()
-//   Bytes / ByteRate     -> des::SimTime   (serialization time, exact —
-//   Bits  / BitRate      -> des::SimTime    both delegate to
-//   transmission_time(Bytes, BitRate)       des::transmission_time)
+//   Bytes / ByteRate     -> SimTime        (serialization time, exact —
+//   Bits  / BitRate      -> SimTime         both delegate to
+//   transmission_time(Bytes, BitRate)       the raw transmission_time)
 //   BitRate  * SimTime   -> Bits
 //   ByteRate * SimTime   -> Bytes
 //   Ops / OpRate         -> double seconds (summed before SimTime rounding,
@@ -35,7 +35,7 @@
 #include <string>
 #include <type_traits>
 
-#include "des/time.hpp"
+#include "units/time.hpp"
 
 namespace gtw::units {
 
@@ -79,6 +79,11 @@ class Bytes {
     return Bytes{a.n_ * k};
   }
   friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return a * k; }
+  // Integer scalar division (window halving, chunking) — exactly
+  // Bytes{count() / k}, so AIMD-style window math stays inside the type.
+  friend constexpr Bytes operator/(Bytes a, std::uint64_t k) {
+    return Bytes{a.n_ / k};
+  }
   friend constexpr auto operator<=>(Bytes, Bytes) = default;
 
   std::string to_string() const;  // e.g. "9180 B", "64.0 KiB"
@@ -288,33 +293,33 @@ class OpRate {
 
 // Exact serialization time of an amount at a rate, rounded up to the next
 // picosecond so repeated sends never run ahead of the wire.  Delegates to
-// des::transmission_time so the arithmetic is bit-identical with the
+// the raw transmission_time so the arithmetic is bit-identical with the
 // pre-typed code paths.
-inline des::SimTime transmission_time(Bytes amount, BitRate rate) {
-  return des::transmission_time(amount.count(), rate.bps());
+inline SimTime transmission_time(Bytes amount, BitRate rate) {
+  return transmission_time(amount.count(), rate.bps());
 }
 
-inline des::SimTime operator/(Bytes amount, ByteRate rate) {
+inline SimTime operator/(Bytes amount, ByteRate rate) {
   return transmission_time(amount, rate.to_bit_rate());
 }
 
-inline des::SimTime operator/(Bits amount, BitRate rate) {
+inline SimTime operator/(Bits amount, BitRate rate) {
   // bits == bytes * 8 exactly in IEEE double (scaling by a power of two),
   // so this matches transmission_time(Bytes, BitRate) for whole bytes.
   const double ps = static_cast<double>(amount.count()) * 1e12 / rate.bps();
-  return des::SimTime::picoseconds(static_cast<std::int64_t>(std::ceil(ps)));
+  return SimTime::picoseconds(static_cast<std::int64_t>(std::ceil(ps)));
 }
 
 // Amount accumulated over a time span (rounded to the nearest whole unit).
-inline Bits operator*(BitRate rate, des::SimTime t) {
+inline Bits operator*(BitRate rate, SimTime t) {
   return Bits{static_cast<std::uint64_t>(rate.bps() * t.sec() + 0.5)};
 }
-inline Bits operator*(des::SimTime t, BitRate rate) { return rate * t; }
+inline Bits operator*(SimTime t, BitRate rate) { return rate * t; }
 
-inline Bytes operator*(ByteRate rate, des::SimTime t) {
+inline Bytes operator*(ByteRate rate, SimTime t) {
   return Bytes{static_cast<std::uint64_t>(rate.per_sec() * t.sec() + 0.5)};
 }
-inline Bytes operator*(des::SimTime t, ByteRate rate) { return rate * t; }
+inline Bytes operator*(SimTime t, ByteRate rate) { return rate * t; }
 
 // Work over speed: seconds as a double, NOT a SimTime — the execution model
 // sums several of these before rounding once (exec::time_on), and rounding
@@ -324,7 +329,7 @@ constexpr double operator/(Ops work, OpRate rate) {
 }
 
 // An amount per period (e.g. a CBR frame each cadence tick).
-inline BitRate per(Bits amount, des::SimTime period) {
+inline BitRate per(Bits amount, SimTime period) {
   return BitRate::bps(static_cast<double>(amount.count()) / period.sec());
 }
 

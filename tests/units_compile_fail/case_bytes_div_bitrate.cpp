@@ -6,5 +6,5 @@
 int main() {
   using namespace gtw;
   const auto t = units::Bytes{1u << 20} / units::BitRate::mbps(622.08);
-  return t > des::SimTime::zero() ? 0 : 1;
+  return t > units::SimTime::zero() ? 0 : 1;
 }

@@ -18,12 +18,12 @@ int main() {
   const units::BitRate back = mem.to_bit_rate();
 
   // Cross-dimension arithmetic through the closed operator set.
-  const des::SimTime t = units::transmission_time(mss, line);
+  const units::SimTime t = units::transmission_time(mss, line);
   const units::Bits carried = line * t;
   const units::Cells cells = net::aal5_cells(mss);
 
   const bool ok = wire.count() == mss.count() * 8 &&
                   back.bps() == line.bps() && carried.count() > 0 &&
-                  cells.count() > 0 && t > des::SimTime::zero();
+                  cells.count() > 0 && t > units::SimTime::zero();
   return ok ? 0 : 1;
 }

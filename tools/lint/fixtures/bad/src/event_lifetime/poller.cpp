@@ -1,0 +1,20 @@
+// Fixture: rule event-lifetime, both patterns.  Not compiled.
+
+#include "poller.hpp"
+
+namespace gtw {
+
+void Poller::tick() {
+  // finding: handle discarded in a member fn of a handle-storing class —
+  // the periodic tick can never be cancelled in ~Poller.
+  sched_->schedule_after(dt_, [this] { tick(); });
+}
+
+void drive(des::Scheduler& s, des::SimTime dt) {
+  int fired = 0;
+  // finding: [&]-capture lambda in a delayed schedule from a free function;
+  // `fired` is dead by the time the event runs.
+  s.schedule_after(dt, [&] { ++fired; });
+}
+
+}  // namespace gtw

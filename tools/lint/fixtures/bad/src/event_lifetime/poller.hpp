@@ -1,0 +1,22 @@
+// Fixture (whole-project): Poller stores EventHandle members, so any
+// member function that discards a schedule_* handle is suspect.  The class
+// declaration lives in THIS file; the discard lives in poller.cpp — the
+// rule must connect them across files.  Not compiled — lint fixture only.
+#pragma once
+
+#include "des/scheduler.hpp"
+
+namespace gtw {
+
+class Poller {
+ public:
+  void arm();
+  void tick();
+
+ private:
+  des::Scheduler* sched_ = nullptr;
+  des::SimTime dt_;
+  des::EventHandle stop_;  // the class clearly owns handle lifetimes...
+};
+
+}  // namespace gtw

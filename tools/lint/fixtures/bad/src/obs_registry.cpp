@@ -1,0 +1,16 @@
+// Fixture: rule obs-name-registry — one semantic metric name must map to
+// one instrument kind, and names must not differ only by case (exporters
+// sort lexicographically, so case twins reorder silently).  Not compiled.
+
+#include "obs/registry.hpp"
+
+namespace gtw {
+
+void install(obs::Registry& reg) {
+  reg.counter("wan.bytes_total");  // finding: kind collision (counter here)
+  reg.gauge("wan.bytes_total");    // finding: kind collision (gauge here)
+  reg.probe_counter("wan.Retries", [] { return 0.0; });  // finding: case twin
+  reg.counter("wan.retries");                            // finding: case twin
+}
+
+}  // namespace gtw

@@ -1,0 +1,20 @@
+// Fixture: rule unit-escape must fire when a raw scalar pulled out of a
+// units type via .count()/.value() flows, on the same statement, back into
+// a units-typed construction — the arithmetic in between silently left the
+// unit system.  Not compiled — lint fixture only.
+
+#include "units/units.hpp"
+
+namespace gtw {
+
+units::Bytes halve_window(units::Bytes w) {
+  return units::Bytes{w.count() / 2};  // finding: escape, halve, re-wrap
+}
+
+units::BitRate goodput(units::Bytes amount, des::SimTime d) {
+  // finding: manual bits/sec math instead of units::per()
+  return units::BitRate::bps(
+      static_cast<double>(amount.count()) * 8.0 / d.sec());
+}
+
+}  // namespace gtw

@@ -1,0 +1,18 @@
+// Fixture: cases the v1 line-regex scanner MISSED that the token scanner
+// must catch — declarations split across physical lines and uppercase
+// exponents.  Not compiled — lint fixture only.
+
+#include <unordered_map>
+
+struct RouteTable {
+  std::unordered_map<
+      long long,
+      int>
+      by_id;  // finding: unordered-container (decl split across lines)
+};
+
+void setup() {
+  double uplink_Bps =
+      97.5E6;  // finding: raw-rate-double decl (split + uppercase E)
+  (void)uplink_Bps;
+}

@@ -1,0 +1,34 @@
+// Fixture: event-lifetime must stay silent when handles are stored, when
+// lambdas capture by value, in classes that never store handles, and on
+// annotated sites.  Not compiled — lint fixture only.
+
+#include "des/scheduler.hpp"
+
+namespace gtw {
+
+class Poller {
+ public:
+  void tick();
+
+ private:
+  des::Scheduler* sched_ = nullptr;
+  des::SimTime dt_;
+  des::EventHandle tick_;
+};
+
+void Poller::tick() {
+  tick_ = sched_->schedule_after(dt_, [this] { tick(); });  // stored: fine
+}
+
+void fire_and_forget(des::Scheduler& s, des::SimTime dt) {
+  s.schedule_after(dt, [] {});  // no captures, no owner: fine
+  int budget = 3;
+  s.schedule_after(dt, [budget] { (void)budget; });  // by value: fine
+}
+
+void allowed_ref(des::Scheduler& s, des::SimTime dt, int& n) {
+  // gtw-lint: allow(event-lifetime) — scheduler drained before this frame returns
+  s.schedule_after(dt, [&] { ++n; });
+}
+
+}  // namespace gtw

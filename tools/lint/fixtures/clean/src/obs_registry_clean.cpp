@@ -1,0 +1,19 @@
+// Fixture: obs-name-registry must stay silent on consistent re-registration
+// (same name, same kind), prefixed dynamic names, and distinct metrics.
+// Not compiled — lint fixture only.
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace gtw {
+
+void install(obs::Registry& reg, const std::string& prefix) {
+  reg.counter("wan.bytes_total");
+  reg.counter("wan.bytes_total");      // same name + same kind: fine
+  reg.gauge(prefix + "window_bytes");  // prefix + leaf literal: fine
+  reg.histogram("wan.rtt_ms", {1.0, 2.0, 4.0});
+  reg.probe_gauge("wan.queue_depth", [] { return 0.0; });
+}
+
+}  // namespace gtw

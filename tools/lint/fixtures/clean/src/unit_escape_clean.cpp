@@ -1,0 +1,24 @@
+// Fixture: unit-escape must stay silent on typed arithmetic, on raw
+// extraction that does NOT feed a units construction, and on annotated
+// conversion boundaries.  Not compiled — lint fixture only.
+
+#include "units/units.hpp"
+
+namespace gtw {
+
+units::Bytes halve_window(units::Bytes w) {
+  return w / 2;  // typed arithmetic: the unit never escapes
+}
+
+units::BitRate goodput(units::Bytes amount, des::SimTime d) {
+  return units::per(amount.to_bits(), d);  // typed conversion helper
+}
+
+std::uint64_t wire_header_field(units::Bytes w) {
+  return w.count();  // extraction alone (serialisation boundary): fine
+}
+
+// gtw-lint: allow(unit-escape) — AAL5 conversion boundary; raw math is the point
+units::Cells to_cells(units::Bytes b) { return units::Cells{b.count() / 48}; }
+
+}  // namespace gtw

@@ -1,0 +1,8 @@
+// finding: a -> b is not an allowed edge (a sits below b), and together
+// with b/impl.hpp's legal b -> a include it closes a module cycle.
+#pragma once
+#include "b/impl.hpp"
+
+namespace fx::a {
+int api();
+}

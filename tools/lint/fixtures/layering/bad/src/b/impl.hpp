@@ -1,0 +1,8 @@
+// b -> a is a declared edge: legal on its own, but a/api.hpp includes us
+// back, so the observed module graph has the cycle a -> b -> a.
+#pragma once
+#include "a/api.hpp"
+
+namespace fx::b {
+int impl();
+}

@@ -1,0 +1,6 @@
+// finding: module 'src/c/' is not declared in layers.toml at all.
+#pragma once
+
+namespace fx::c {
+int orphan();
+}

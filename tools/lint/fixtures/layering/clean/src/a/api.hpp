@@ -1,0 +1,7 @@
+// Bottom module: depends on nothing; system headers don't count as edges.
+#pragma once
+#include <cstdint>
+
+namespace fx::a {
+std::uint64_t api();
+}

@@ -1,0 +1,9 @@
+// b -> a is declared in layers.toml: silent.  Intra-module includes
+// (b -> b) never count as edges.
+#pragma once
+#include "a/api.hpp"
+#include "b/impl_detail.hpp"
+
+namespace fx::b {
+int impl();
+}
