@@ -36,6 +36,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/attach.hpp"
+#include "check/monitor.hpp"
 #include "des/random.hpp"
 #include "des/scheduler.hpp"
 #include "fire/pipeline.hpp"
@@ -426,6 +428,10 @@ struct NationalStats {
   std::uint64_t hash = 0;
   double makespan_s = 0.0;
   double wall_s = 0.0;
+  // (simulated time, running stream hash) sampled every checkpoint
+  // interval; the determinism gate diffs these between runs to localize a
+  // divergence to a simulated-time window instead of a raw byte offset.
+  std::vector<std::pair<double, std::uint64_t>> hash_checkpoints;
 };
 
 NationalStats run_national(const NationalConfig& nc, bool emit_obs) {
@@ -530,9 +536,36 @@ NationalStats run_national(const NationalConfig& nc, bool emit_obs) {
         });
   }
 
+#if defined(GTW_CHECK)
+  // GTW-San: full conservation sweep over the national topology.  Attaching
+  // schedules nothing, so the event stream (and its hash checkpoints) is
+  // identical to an unmonitored checked run.
+  check::Monitor mon(sched);
+  check::attach_scheduler(mon, sched);
+  for (const auto& h : hosts) check::attach_host(mon, *h);
+  for (const auto& l : links) check::attach_link(mon, *l);
+#endif
+
   const WallTimer timer;
-  sched.run();
+  // Drive the run step-by-step so the stream hash can be sampled at fixed
+  // simulated-time checkpoints.  Pure observation: nothing is scheduled,
+  // so events and final hash match a plain sched.run() exactly.
+  std::vector<std::pair<double, std::uint64_t>> checkpoints;
+  const auto cp_interval = des::SimTime::milliseconds(25);
+  des::SimTime next_cp = cp_interval;
+  while (sched.step()) {
+    while (sched.now() >= next_cp) {
+      checkpoints.emplace_back(next_cp.sec(), sched.stream_hash());
+      next_cp = next_cp + cp_interval;
+    }
+  }
   const double wall_s = timer.elapsed_s();
+
+#if defined(GTW_CHECK)
+  mon.finish();
+  mon.require_clean(emit_obs ? "des_speed national hybrid"
+                             : "des_speed national exact");
+#endif
 
   if (emit_obs) {
     // Snapshot the engine-core dashboard after the run (probes read current
@@ -559,13 +592,17 @@ NationalStats run_national(const NationalConfig& nc, bool emit_obs) {
   st.hash = sched.stream_hash();
   st.makespan_s = sched.now().sec();
   st.wall_s = wall_s;
+  st.hash_checkpoints = std::move(checkpoints);
+  // The final hash is always the last checkpoint, even off the grid.
+  st.hash_checkpoints.emplace_back(st.makespan_s, st.hash);
   return st;
 }
 
 // ---------------------------------------------------------------------------
 
-void print_des_speed(bool replay) {
-  std::printf("== DES engine: calendar queue vs pre-refactor baseline ==\n");
+void print_des_speed(bool replay, bool quick) {
+  std::printf("== DES engine: calendar queue vs pre-refactor baseline ==%s\n",
+              quick ? " (quick)" : "");
 
   struct SweepCase {
     const char* workload;
@@ -573,18 +610,31 @@ void print_des_speed(bool replay) {
     std::uint64_t budget;
     std::uint64_t far_one_in;
   };
-  const SweepCase cases[] = {
+  // --quick: the CI check-build job wants every code path (all workloads,
+  // both national fidelities) under GTW_CHECK without the full event
+  // budgets; artifacts from quick and full runs are never cross-compared.
+  const SweepCase full_cases[] = {
       {"hold", 1'000, 300'000, 16},
       {"hold", 10'000, 500'000, 16},
       {"hold", 100'000, 800'000, 16},
       {"hold_near", 1'000'000, 1'500'000, 0},
       {"churn", 20'000, 400'000, 0},
   };
+  const SweepCase quick_cases[] = {
+      {"hold", 1'000, 60'000, 16},
+      {"hold", 10'000, 80'000, 16},
+      {"hold", 100'000, 150'000, 16},
+      {"hold_near", 100'000, 200'000, 0},
+      {"churn", 5'000, 80'000, 0},
+  };
+  const SweepCase* cases = quick ? quick_cases : full_cases;
+  const std::size_t n_cases = 5;
   // Best of two runs per engine: the schedule (and hash) is identical both
   // times, only the wall clock varies, so min-of-N is the standard way to
   // strip scheduler/turbo noise from the rate estimate.
   std::vector<SweepRow> rows;
-  for (const SweepCase& c : cases) {
+  for (std::size_t ci = 0; ci < n_cases; ++ci) {
+    const SweepCase& c = cases[ci];
     SweepRow r;
     r.workload = c.workload;
     r.population = c.population;
@@ -642,11 +692,22 @@ void print_des_speed(bool replay) {
             fig2_mean_delay_s(net::LinkFidelity::kFluid)};
 
   std::printf("\n== national scale: %s ==\n",
-              "32 sites, 2081 hosts, 100000 flows");
+              quick ? "8 sites, 137 hosts, 10000 flows (quick)"
+                    : "32 sites, 2081 hosts, 100000 flows");
   NationalConfig exact_cfg;
   exact_cfg.trunk_fidelity = net::LinkFidelity::kExact;
+  if (quick) {
+    exact_cfg.sites = 8;
+    exact_cfg.leaves_per_site = 16;
+    exact_cfg.flows = 10'000;
+  }
   const NationalStats nat_exact = run_national(exact_cfg, /*emit_obs=*/false);
-  const NationalConfig hybrid_cfg;
+  NationalConfig hybrid_cfg;
+  if (quick) {
+    hybrid_cfg.sites = 8;
+    hybrid_cfg.leaves_per_site = 16;
+    hybrid_cfg.flows = 10'000;
+  }
   const NationalStats nat_hybrid = run_national(hybrid_cfg, /*emit_obs=*/true);
   FidelityRow nat_row{"national", "makespan_s", nat_exact.makespan_s,
                       nat_hybrid.makespan_s};
@@ -684,7 +745,8 @@ void print_des_speed(bool replay) {
   // ---- BENCH_des_speed.json ----
   std::ofstream json("BENCH_des_speed.json", std::ios::binary);
   json << "{\n  \"bench\": \"des_speed\",\n  \"replay\": "
-       << (replay ? "true" : "false") << ",\n  \"sweeps\": [\n";
+       << (replay ? "true" : "false") << ",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"sweeps\": [\n";
   char buf[640];
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
@@ -746,6 +808,18 @@ void print_des_speed(bool replay) {
         static_cast<unsigned long long>(n.events),
         static_cast<unsigned long long>(n.hash), n.makespan_s);
     json << buf;
+    // Periodic (simulated time, stream hash) samples: when two runs of this
+    // artifact differ, tools/determinism_gate.py reports the first diverging
+    // checkpoint, bounding the divergence to one simulated-time window.
+    json << ", \"hash_checkpoints\": [";
+    for (std::size_t i = 0; i < n.hash_checkpoints.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s{\"t_s\": %.17g, \"hash\": \"0x%016llx\"}",
+                    i == 0 ? "" : ", ", n.hash_checkpoints[i].first,
+                    static_cast<unsigned long long>(
+                        n.hash_checkpoints[i].second));
+      json << buf;
+    }
+    json << "]";
     if (!replay) {
       std::snprintf(buf, sizeof buf,
                     ", \"wall_s\": %.17g, \"events_per_s\": %.17g",
@@ -783,16 +857,21 @@ BENCHMARK(BM_BaselineHold)->Arg(1'000)->Arg(100'000)
 
 int main(int argc, char** argv) {
   bool replay = false;
+  bool quick = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--replay") {
       replay = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;
-  print_des_speed(replay);
+  print_des_speed(replay, quick);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

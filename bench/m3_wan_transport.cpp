@@ -35,6 +35,8 @@
 #include <string>
 #include <string_view>
 
+#include "check/attach.hpp"
+#include "check/monitor.hpp"
 #include "meta/metacomputer.hpp"
 #include "meta/path_transport.hpp"
 #include "net/fault.hpp"
@@ -133,10 +135,23 @@ Row run_case(double distance_km, std::string_view schedule,
   obs::Registry reg;
   if (emit_obs) obs::instrument_path_transport(reg, path, "wan");
 
+#if defined(GTW_CHECK)
+  // GTW-San: the exactly-once / in-order delivery contract must hold even
+  // through loss-driven chunk resends and outage-driven stream resets.
+  check::Monitor mon(tb.scheduler());
+  check::attach_testbed(mon, tb);
+  check::attach_path_transport(mon, path, "wan");
+  check::attach_fault_plan(mon, plan);
+#endif
+
   des::SimTime done = des::SimTime::zero();
   mc.wan_send(ma, mb, units::Bytes{kTransferBytes},
               [&] { done = tb.scheduler().now(); });
   tb.scheduler().run();
+#if defined(GTW_CHECK)
+  mon.finish();
+  mon.require_clean("m3_wan_transport");
+#endif
 
   if (emit_obs) {
     std::ofstream metrics("OBS_m3_wan_transport.metrics.json",

@@ -1,0 +1,110 @@
+#include "check/monitor.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gtw::check {
+
+void Monitor::note(std::string tag) {
+  if (ring_.size() < kHistoryCapacity) {
+    ring_.emplace_back(sched_.now(), std::move(tag));
+  } else {
+    auto& slot = ring_[static_cast<std::size_t>(ring_count_ % kHistoryCapacity)];
+    slot.first = sched_.now();
+    slot.second = std::move(tag);
+  }
+  ++ring_count_;
+}
+
+std::vector<std::string> Monitor::history_snapshot() const {
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  const std::uint64_t n = ring_count_;
+  const std::uint64_t cap = kHistoryCapacity;
+  const std::uint64_t start = n > cap ? n - cap : 0;
+  for (std::uint64_t i = start; i < n; ++i) {
+    const auto& slot = ring_[static_cast<std::size_t>(i % cap)];
+    char stamp[64];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.9fs] ", slot.first.sec());
+    out.push_back(stamp + slot.second);
+  }
+  return out;
+}
+
+void Monitor::violation(const std::string& checker,
+                        const std::string& message) {
+  ++total_violations_;
+  if (violations_.size() >= kMaxViolations) return;
+  violations_.push_back(
+      Violation{checker, message, sched_.now(), history_snapshot()});
+}
+
+void Monitor::run_set(
+    const std::vector<std::pair<std::string, InvariantFn>>& set,
+    std::size_t& found) {
+  for (const auto& [name, fn] : set) {
+    if (auto broke = fn()) {
+      violation(name, *broke);
+      ++found;
+    }
+  }
+}
+
+std::size_t Monitor::check_now() {
+  std::size_t found = 0;
+  run_set(invariants_, found);
+  return found;
+}
+
+std::size_t Monitor::finish() {
+  std::size_t found = 0;
+  run_set(invariants_, found);
+  run_set(drain_checks_, found);
+  return found;
+}
+
+void Monitor::arm_periodic(des::SimTime interval) {
+  sched_.schedule_after(interval, [this, interval] {
+    check_now();
+    // Re-arm only while other events remain: the tick chain must not keep
+    // an otherwise-drained simulation alive.
+    if (!sched_.empty()) arm_periodic(interval);
+  });
+}
+
+std::string Monitor::report() const {
+  if (clean()) return "gtw-check: clean (0 violations)\n";
+  std::string out;
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "gtw-check: %llu violation(s), first %zu shown\n",
+                static_cast<unsigned long long>(total_violations_),
+                violations_.size());
+  out += head;
+  for (const auto& v : violations_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  [%s] at t=%.9fs: ",
+                  v.checker.c_str(), v.when.sec());
+    out += line;
+    out += v.message;
+    out += '\n';
+    if (!v.history.empty()) {
+      out += "    last events:\n";
+      for (const auto& h : v.history) {
+        out += "      ";
+        out += h;
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+void Monitor::require_clean(const std::string& context) const {
+  if (clean()) return;
+  std::fprintf(stderr, "gtw-check FAILED (%s)\n%s", context.c_str(),
+               report().c_str());
+  std::exit(1);
+}
+
+}  // namespace gtw::check

@@ -44,6 +44,8 @@ EventHandle Scheduler::schedule_at(SimTime when, Action action) {
   e.action = std::move(action);
   e.cancelled = false;
   const std::uint64_t seq = e.seq;
+  GTW_CHECK_HOOK(if (check_hook_ != nullptr)
+                     check_hook_->on_schedule(when, now_, seq));
   ++live_events_;
   place(QItem{when, seq, id});
   maybe_resize();
@@ -108,7 +110,19 @@ void Scheduler::release_entry(EventId id) {
 void Scheduler::cancel(std::uint64_t seq, EventId slot) {
   if (seq == 0 || slot == SlabPool<Entry, 1024>::kInvalid) return;
   Entry& e = pool_[slot];
-  if (e.seq != seq || e.cancelled) return;
+  if (e.seq != seq || e.cancelled) {
+    // Stale handles (event already fired, slot possibly recycled) are a
+    // documented no-op; a matching-but-tombstoned entry means a *copied*
+    // handle cancelled the same live event twice — the seq-as-generation
+    // defence caught an aliasing bug.
+    GTW_CHECK_HOOK(if (check_hook_ != nullptr) check_hook_->on_cancel(
+        seq, e.seq == seq && e.cancelled
+                 ? SchedulerCheckHook::CancelOutcome::kDouble
+                 : SchedulerCheckHook::CancelOutcome::kStale));
+    return;
+  }
+  GTW_CHECK_HOOK(if (check_hook_ != nullptr) check_hook_->on_cancel(
+      seq, SchedulerCheckHook::CancelOutcome::kCancelled));
   e.cancelled = true;
   // Drop the capture now rather than at sweep/pop time — cancelled events
   // routinely hold the largest captures (retransmit timers with packets).
@@ -220,6 +234,8 @@ bool Scheduler::step(SimTime horizon) {
   const QItem it = find_next();
   if (it.when > horizon) return false;
   pop_bucket(scan_idx_);
+  GTW_CHECK_HOOK(if (check_hook_ != nullptr)
+                     check_hook_->on_fire(it.when, it.seq));
   --live_events_;
   now_ = it.when;
   ++executed_;

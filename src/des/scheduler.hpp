@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "des/action.hpp"
+#include "des/check_hook.hpp"
 #include "des/pool.hpp"
 #include "des/time.hpp"
 
@@ -96,6 +97,18 @@ class Scheduler {
   std::size_t pool_in_use() const { return pool_.in_use(); }
   std::size_t pool_high_water() const { return pool_.high_water(); }
   std::size_t pool_slabs() const { return pool_.slabs(); }
+
+  // GTW-San (check::attach_scheduler): observe schedule/fire/cancel in
+  // event order.  The hook must outlive the scheduler or be detached with
+  // nullptr first; it is notification-only and never steers the schedule.
+  // The slot exists in every build; the notifying call sites are
+  // GTW_CHECK_HOOK-guarded and compile away when checking is off.
+  void set_check_hook(SchedulerCheckHook* hook) { check_hook_ = hook; }
+#if defined(GTW_CHECK)
+  std::uint64_t pool_double_frees() const {
+    return pool_.check_double_frees();
+  }
+#endif
 
  private:
   friend class EventHandle;
@@ -177,6 +190,7 @@ class Scheduler {
   std::size_t bucket_high_water_ = 0;
   std::size_t overflow_high_water_ = 0;
   std::uint64_t resizes_ = 0;
+  SchedulerCheckHook* check_hook_ = nullptr;
 };
 
 }  // namespace gtw::des

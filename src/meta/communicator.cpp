@@ -79,6 +79,11 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
   ++st->attempts;
   mc_->wan_send(st->src_machine, st->dst_machine, units::Bytes{st->bytes},
                 [this, st]() {
+    GTW_CHECK_HOOK(if (check_observer_ != nullptr)
+                       check_observer_->on_wan_outcome(
+                           st->src_rank, st->dst_rank,
+                           !st->abandoned && !st->delivered, st->abandoned,
+                           st->delivered));
     if (st->abandoned) {
       // The unreachable report already fired; the application has been told
       // this message failed, so a tardy copy must not resurrect it.
@@ -105,6 +110,9 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
     if (st->attempts > retry_.max_retries) {
       st->abandoned = true;
       ++reliability_.unreachable_reports;
+      GTW_CHECK_HOOK(if (check_observer_ != nullptr)
+                         check_observer_->on_unreachable(st->src_rank,
+                                                         st->dst_rank));
       if (unreachable_)
         unreachable_(st->src_rank, st->dst_rank, st->attempts);
       return;

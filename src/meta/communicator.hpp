@@ -23,11 +23,31 @@
 #include <string>
 #include <vector>
 
+#include "des/check_hook.hpp"
 #include "flow/tracing.hpp"
 #include "meta/metacomputer.hpp"
 #include "trace/trace.hpp"
 
 namespace gtw::meta {
+
+// GTW-San observer (check::attach_communicator): notified at the outcome
+// decision of every watchdog-guarded WAN delivery and at every unreachable
+// report, so the sanitizer can prove the retry policy's contract — a
+// message reported unreachable is never afterwards handed to the
+// application.  Notification-only; must not call back into the
+// communicator.  The interface and registration slot exist in every build;
+// the notifying call sites are GTW_CHECK_HOOK-guarded and compile away
+// when checking is off.
+struct CommCheckObserver {
+  virtual ~CommCheckObserver() = default;
+  // A WAN copy arrived.  Exactly one of the three describes its fate:
+  // handed to the application, suppressed as a duplicate of an earlier
+  // delivery, or dropped because the message was already abandoned.
+  virtual void on_wan_outcome(int src_rank, int dst_rank,
+                              bool delivered_to_app, bool after_abandon,
+                              bool duplicate) = 0;
+  virtual void on_unreachable(int src_rank, int dst_rank) = 0;
+};
 
 // Process location: which machine, which processing element on it.
 struct ProcLoc {
@@ -181,6 +201,8 @@ class Communicator {
     return peer_traffic_;
   }
 
+  void set_check_observer(CommCheckObserver* obs) { check_observer_ = obs; }
+
  private:
   struct PostedRecv {
     int source;
@@ -242,6 +264,7 @@ class Communicator {
   UnreachableCallback unreachable_;
   ReliabilityStats reliability_;
   flow::Tracer tracer_;  // shared hook layer with the dataflow engine
+  CommCheckObserver* check_observer_ = nullptr;
 };
 
 }  // namespace gtw::meta

@@ -57,6 +57,12 @@ void PathTransport::send(int side, units::Bytes amount,
           Stats& sst = stats_[side];
           ++sst.delivered_messages;
           sst.delivered_bytes += amount.count();
+          // Passthrough has no striping sequence; deliveries are TCP-ordered
+          // by construction, so the delivery count doubles as the msg seq.
+          GTW_CHECK_HOOK(if (check_observer_ != nullptr)
+                             check_observer_->on_message(
+                                 side, sst.delivered_messages - 1,
+                                 amount.count()));
           if (cb) cb();
         });
     return;
@@ -159,11 +165,15 @@ void PathTransport::on_chunk_delivered(int stream, int side, ChunkRef ref) {
   if (mit == messages_[side].end() ||
       mit->second.chunks[ref.idx].delivered) {
     ++st.duplicate_chunks;
+    GTW_CHECK_HOOK(if (check_observer_ != nullptr) check_observer_->on_chunk(
+        side, ref.msg_seq, ref.idx, /*duplicate=*/true));
     return;
   }
   Chunk& chunk = mit->second.chunks[ref.idx];
   chunk.delivered = true;
   ++mit->second.chunks_done;
+  GTW_CHECK_HOOK(if (check_observer_ != nullptr) check_observer_->on_chunk(
+      side, ref.msg_seq, ref.idx, /*duplicate=*/false));
 
   const auto out = std::find_if(
       ss.outstanding.begin(), ss.outstanding.end(), [&](const ChunkRef& r) {
@@ -193,6 +203,8 @@ void PathTransport::deliver_ready(int side) {
     st.reassembly_bytes -= msg.bytes.count();
     ++st.delivered_messages;
     st.delivered_bytes += msg.bytes.count();
+    GTW_CHECK_HOOK(if (check_observer_ != nullptr) check_observer_->on_message(
+        side, next_deliver_seq_[side] - 1, msg.bytes.count()));
     if (msg.cb) msg.cb();
     it = messages_[side].find(next_deliver_seq_[side]);
   }
@@ -255,6 +267,22 @@ void PathTransport::reset_stream(int stream) {
   s.conn.reset();
   open_stream(s);
   for (int side = 0; side < 2; ++side) pump(stream, side);
+}
+
+std::size_t PathTransport::undispatched_chunks(int side) const {
+  // Refs to already-delivered messages linger in pending until the stream
+  // is next pumped (pump() skips them lazily); only live work counts.
+  std::size_t n = 0;
+  for (const Stream& s : streams_)
+    for (const ChunkRef& ref : s.side[side].pending)
+      if (messages_[side].find(ref.msg_seq) != messages_[side].end()) ++n;
+  return n;
+}
+
+std::size_t PathTransport::outstanding_chunks(int side) const {
+  std::size_t n = 0;
+  for (const Stream& s : streams_) n += s.side[side].outstanding.size();
+  return n;
 }
 
 bool PathTransport::work_outstanding() const {

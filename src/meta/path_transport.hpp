@@ -37,12 +37,28 @@
 #include <memory>
 #include <vector>
 
+#include "des/check_hook.hpp"
 #include "des/scheduler.hpp"
 #include "net/host.hpp"
 #include "net/tcp.hpp"
 #include "units/units.hpp"
 
 namespace gtw::meta {
+
+// GTW-San observer (check::attach_path_transport): notified at every chunk
+// arrival and every in-order message hand-off to the application, so the
+// sanitizer can prove the exactly-once / strict-send-order delivery
+// contract instead of trusting the reassembly bookkeeping it is checking.
+// Notification-only: implementations must not call back into the path.
+// Declared in every build; the notifying call sites are GTW_CHECK_HOOK-
+// guarded and compile away when checking is off.
+struct PathCheckObserver {
+  virtual ~PathCheckObserver() = default;
+  virtual void on_chunk(int side, std::uint64_t msg_seq, std::uint32_t idx,
+                        bool duplicate) = 0;
+  virtual void on_message(int side, std::uint64_t msg_seq,
+                          std::uint64_t bytes) = 0;
+};
 
 // Per-path transport configuration.  `streams` is the connection pool size
 // (connections are opened once and reused); the controller varies the
@@ -125,6 +141,19 @@ class PathTransport {
     std::uint64_t tcp_timeouts = 0;
   };
   StreamStats stream_stats(int side, int stream) const;
+
+  // Chunk-level work still in the pipeline (check::attach_path_transport):
+  // assigned-but-undispatched and handed-to-TCP-but-undelivered chunks
+  // across the whole pool.  Both must be zero once the scheduler drains —
+  // a nonzero count is a chunk stranded by a stall reset.
+  std::size_t undispatched_chunks(int side) const;
+  std::size_t outstanding_chunks(int side) const;
+  // In-flight logical messages (sent, not yet handed to the application).
+  std::size_t inflight_messages(int side) const {
+    return messages_[side].size();
+  }
+
+  void set_check_observer(PathCheckObserver* obs) { check_observer_ = obs; }
 
   int stream_count() const { return static_cast<int>(streams_.size()); }
   int active_streams() const { return active_streams_; }
@@ -218,6 +247,7 @@ class PathTransport {
   int clean_intervals_ = 0;
   units::BitRate goodput_[2] = {units::BitRate::bps(0.0),
                                 units::BitRate::bps(0.0)};
+  PathCheckObserver* check_observer_ = nullptr;
 };
 
 }  // namespace gtw::meta

@@ -30,6 +30,8 @@ void AtmSwitch::add_route(int in_port, std::uint32_t in_vc, int out_port,
 }
 
 void AtmSwitch::on_frame(int port, Frame f) {
+  ++ingress_frames_;
+  ingress_bytes_ += f.wire_bytes;
   auto it = vcs_.find({port, f.vc});
   if (it == vcs_.end()) {
     ++unroutable_;

@@ -39,9 +39,16 @@ class AtmSwitch {
                  std::uint32_t out_vc);
 
   Link& egress_link(int port) { return *ports_.at(port).out; }
+  const Link& egress_link(int port) const { return *ports_.at(port).out; }
   const std::string& name() const { return name_; }
   int port_count() const { return static_cast<int>(ports_.size()); }
   std::uint64_t unroutable_drops() const { return unroutable_; }
+  // Frame-conservation ledger (check::attach_atm_switch): every frame that
+  // entered any ingress port.  At drain, ingress == unroutable + the sum of
+  // the egress links' submit attempts — a frame either found its VC route
+  // or was counted, never silently vanished in the fabric.
+  std::uint64_t ingress_frames() const { return ingress_frames_; }
+  std::uint64_t ingress_bytes() const { return ingress_bytes_; }
 
  private:
   void on_frame(int port, Frame f);
@@ -56,6 +63,8 @@ class AtmSwitch {
   std::vector<Port> ports_;
   std::map<std::pair<int, std::uint32_t>, std::pair<int, std::uint32_t>> vcs_;
   std::uint64_t unroutable_ = 0;
+  std::uint64_t ingress_frames_ = 0;
+  std::uint64_t ingress_bytes_ = 0;
 };
 
 // Host attachment to ATM with Classical-IP (RFC 1577) encapsulation: each IP

@@ -98,19 +98,23 @@ void Host::emit(IpPacket pkt, const Route& route) {
 }
 
 void Host::receive_from_nic(IpPacket pkt) {
+  ++nic_arrivals_;
   if (!up_) {
     ++outage_drops_;
+    ++recv_outage_drops_;
     return;
   }
   cpu_.execute(recv_cost(pkt), [this, pkt = std::move(pkt)]() mutable {
     if (pkt.dst != id_) {
       if (!forwarding_ || pkt.ttl == 0) {
         ++unroutable_;
+        ++recv_unroutable_;
         return;
       }
       const Route* route = lookup(pkt.dst);
       if (route == nullptr) {
         ++unroutable_;
+        ++recv_unroutable_;
         return;
       }
       --pkt.ttl;

@@ -99,6 +99,17 @@ class Host {
   std::uint64_t unroutable_drops() const { return unroutable_; }
   std::uint64_t next_datagram_id() { return ++datagram_seq_; }
 
+  // Receive-path conservation (check::attach_host).  The historical
+  // counters above mix send- and receive-side causes; these split out the
+  // NIC-arrival ledger so that, once the scheduler drains,
+  //   nic_arrivals == received + forwarded + recv_unroutable + recv_outage.
+  std::uint64_t nic_arrivals() const { return nic_arrivals_; }
+  std::uint64_t recv_unroutable_drops() const { return recv_unroutable_; }
+  std::uint64_t recv_outage_drops() const { return recv_outage_drops_; }
+  // Datagrams sitting half-reassembled right now; the 500 ms fragment
+  // timeout guarantees this is zero once the scheduler drains.
+  std::size_t reassembly_pending() const { return reassembly_.size(); }
+
  private:
   struct Route {
     Nic* nic = nullptr;
@@ -140,6 +151,9 @@ class Host {
   std::uint64_t packets_received_ = 0;
   std::uint64_t packets_forwarded_ = 0;
   std::uint64_t unroutable_ = 0;
+  std::uint64_t nic_arrivals_ = 0;
+  std::uint64_t recv_unroutable_ = 0;
+  std::uint64_t recv_outage_drops_ = 0;
   std::uint64_t datagram_seq_ = 0;
   static std::uint64_t next_packet_id_;
 };

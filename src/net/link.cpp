@@ -30,6 +30,8 @@ void Link::set_up(bool up) {
 }
 
 bool Link::submit(Frame f) {
+  ++submitted_frames_;
+  submitted_bytes_ += f.wire_bytes;
   if (!up_) {
     ++outage_drops_;
     outage_dropped_bytes_ += f.wire_bytes;

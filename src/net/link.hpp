@@ -99,6 +99,12 @@ class Link {
 
   std::uint64_t queue_bytes() const { return queued_bytes_; }
   std::size_t queue_frames() const { return queue_.size(); }
+  // Every submit() attempt, accepted or refused.  Together with the
+  // outcome counters below these close the link's conservation law
+  // (check::attach_link): submitted == sent + dropped + outage-dropped +
+  // still-queued, in bytes at any instant and in frames once drained.
+  std::uint64_t submitted_frames() const { return submitted_frames_; }
+  std::uint64_t submitted_bytes() const { return submitted_bytes_; }
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t drops() const { return drops_; }
@@ -131,6 +137,8 @@ class Link {
   bool transmitting_ = false;
   bool up_ = true;
 
+  std::uint64_t submitted_frames_ = 0;
+  std::uint64_t submitted_bytes_ = 0;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t drops_ = 0;

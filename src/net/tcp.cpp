@@ -318,6 +318,20 @@ std::uint64_t TcpConnection::bytes_received(int side) const {
   return ep_[side].rcv_nxt;
 }
 
+TcpConnection::SeqState TcpConnection::seq_state(int side) const {
+  const Endpoint& e = ep_[side];
+  const Endpoint& peer = ep_[1 - side];
+  SeqState s;
+  s.snd_una = e.snd_una;
+  s.snd_nxt = e.snd_nxt;
+  s.snd_max = e.snd_max;
+  s.snd_end = e.snd_end;
+  s.rcv_nxt = peer.rcv_nxt;
+  s.ooo_buffered = ooo_bytes(peer);
+  s.cwnd = e.cwnd;
+  return s;
+}
+
 BulkTransferResult run_bulk_transfer(des::Scheduler& sched, Host& a, Host& b,
                                      units::Bytes amount, TcpConfig cfg,
                                      std::uint16_t port_base) {

@@ -76,6 +76,21 @@ class TcpConnection {
   };
   Stats stats(int side) const;
 
+  // GTW-San snapshot (check::attach_tcp): the raw sequence-space and
+  // window state the Reno invariants are phrased against —
+  // snd_una <= snd_nxt <= snd_max <= snd_end, cwnd >= MSS, and the
+  // out-of-order backlog bounded by the advertised receive buffer.
+  struct SeqState {
+    std::uint64_t snd_una = 0;
+    std::uint64_t snd_nxt = 0;
+    std::uint64_t snd_max = 0;
+    std::uint64_t snd_end = 0;
+    std::uint64_t rcv_nxt = 0;      // receiver side of the same direction
+    std::uint64_t ooo_buffered = 0; // bytes the receiver holds out of order
+    double cwnd = 0.0;
+  };
+  SeqState seq_state(int side) const;
+
   // Bytes the receiver on side `side` has accepted in order.
   std::uint64_t bytes_received(int side) const;
 

@@ -250,6 +250,13 @@ net::Link& Testbed::wan_link_g_to_j() {
   return atm_g_->egress_link(wan_port_g_);
 }
 
+std::vector<net::Link*> Testbed::atm_uplinks() {
+  std::vector<net::Link*> links;
+  links.reserve(atm_nics_.size());
+  for (const auto& nic : atm_nics_) links.push_back(&nic->uplink());
+  return links;
+}
+
 void Testbed::shape_host_vc(const std::string& src_host,
                             const std::string& dst_host, units::BitRate rate) {
   net::Host* src = by_name_.at(src_host);

@@ -97,6 +97,12 @@ class Testbed {
   net::Link& wan_link_j_to_g();
   net::Link& wan_link_g_to_j();
 
+  // Every ATM NIC uplink the builder created, in attachment order.  With
+  // the switch egress ports (reachable through the switches) this is the
+  // complete link inventory — what check::attach_testbed sweeps when it
+  // arms byte-conservation checking over the whole topology.
+  std::vector<net::Link*> atm_uplinks();
+
  protected:
   // Shared with ExtendedTestbed (section-5 sites build on the same plumbing).
   net::Host* add_host(const std::string& name, net::HostCosts costs);

@@ -124,6 +124,10 @@ TEST(SchedulerTest, CancellationChurnIsSweptFromTheHeap) {
   EXPECT_TRUE(sched.empty());
   EXPECT_EQ(sched.queued_entries(), 0u);
   EXPECT_EQ(sched.cancelled_entries(), 0u);
+  // Leak census (GTW-San's drain invariant asserted directly): after 2000
+  // schedules and ~1950 cancels, natural drain returned every pool slot.
+  EXPECT_EQ(sched.pool_in_use(), sched.live_events() + sched.cancelled_entries());
+  EXPECT_EQ(sched.pool_in_use(), 0u);
 }
 
 TEST(SchedulerTest, CancelledOrderingUnaffectedForSurvivors) {

@@ -71,6 +71,11 @@ TEST(FlowIntegrationTest, FirePipelineStagesTraceAndMeter) {
   }
   EXPECT_EQ(count_kind(rec, trace::EventKind::kSend, 0), 6);
   EXPECT_EQ(count_kind(rec, trace::EventKind::kRecv, 1), 6);
+
+  // Leak census at drain: the whole pipeline (timers, transfers, stage
+  // wakeups) returned every event-pool slot it ever acquired.
+  EXPECT_EQ(tb.scheduler().pool_in_use(),
+            tb.scheduler().live_events() + tb.scheduler().cancelled_entries());
 }
 
 TEST(FlowIntegrationTest, FireSequentialSkipsShowUpAsAdmissionDrops) {

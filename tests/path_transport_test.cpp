@@ -104,6 +104,10 @@ TEST(PathTransportTest, LargeMessageStripesAcrossAllStreams) {
   for (int s = 0; s < 4; ++s) {
     EXPECT_EQ(path.stream_stats(0, s).chunks, 16u) << "stream " << s;
   }
+  // Leak census at drain: striping timers and per-chunk sends balance out
+  // (pool slots in use == live events + cancelled tombstones == 0).
+  EXPECT_EQ(f.sched.pool_in_use(),
+            f.sched.live_events() + f.sched.cancelled_entries());
 }
 
 TEST(PathTransportTest, MessagesDeliverInSendOrder) {

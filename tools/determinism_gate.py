@@ -23,6 +23,7 @@ import argparse
 import glob
 import hashlib
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -53,6 +54,65 @@ def first_difference(a: bytes, b: bytes) -> int:
         if x != y:
             return i
     return min(len(a), len(b))
+
+
+def hex_context(data: bytes, off: int, span: int = 16) -> str:
+    """One line of hex+printable context around `off`, caret under the
+    diverging byte, so a CI log pinpoints the mismatch without local
+    reproduction."""
+    lo = max(0, off - span)
+    window = data[lo:off + span]
+    hexes = " ".join(f"{b:02x}" for b in window)
+    chars = "".join(chr(b) if 0x20 <= b < 0x7f else "." for b in window)
+    caret = " " * (3 * (off - lo)) + "^^"
+    return (f"    bytes {lo}..{lo + len(window)}: {hexes}\n"
+            f"    {' ' * len('bytes ..: ')}{caret}\n"
+            f"    printable: {chars!r}")
+
+
+# "hash_checkpoints": [{"t_s": ..., "hash": "0x..."}] arrays embedded in an
+# artifact (see bench/des_speed.cpp).  Parsed with a tolerant regex rather
+# than full JSON so a *corrupt* diverging artifact still yields its
+# checkpoint trail.
+CHECKPOINT_ARRAY_RE = re.compile(
+    rb"\"hash_checkpoints\"\s*:\s*\[(.*?)\]", re.DOTALL)
+CHECKPOINT_RE = re.compile(
+    rb"\{\s*\"t_s\"\s*:\s*([-0-9.eE+]+)\s*,\s*\"hash\"\s*:\s*\"(0x[0-9a-f]+)\"\s*\}")
+
+
+def extract_checkpoints(data: bytes) -> list[list[tuple[float, str]]]:
+    """All hash-checkpoint trails in an artifact, in order of appearance."""
+    trails = []
+    for m in CHECKPOINT_ARRAY_RE.finditer(data):
+        trails.append([(float(t), h.decode())
+                       for t, h in CHECKPOINT_RE.findall(m.group(1))])
+    return trails
+
+
+def localize_divergence(a: bytes, b: bytes) -> str | None:
+    """Compare embedded stream-hash checkpoint trails between two runs and
+    name the simulated-time window where they first disagree.  Returns a
+    report line, or None if the artifact carries no checkpoints."""
+    ta, tb = extract_checkpoints(a), extract_checkpoints(b)
+    if not ta or not tb:
+        return None
+    for trail_idx, (ca, cb) in enumerate(zip(ta, tb)):
+        prev_t = 0.0
+        for (t1, h1), (t2, h2) in zip(ca, cb):
+            if t1 != t2 or h1 != h2:
+                return (f"  stream-hash checkpoints (trail {trail_idx}): "
+                        f"runs agree up to t={prev_t:.6g}s, first diverge "
+                        f"by t={max(t1, t2):.6g}s "
+                        f"({h1} vs {h2}) — the nondeterministic event lies "
+                        f"in that simulated-time window")
+            prev_t = t1
+        if len(ca) != len(cb):
+            return (f"  stream-hash checkpoints (trail {trail_idx}): "
+                    f"identical through t={prev_t:.6g}s but one run "
+                    f"recorded {len(ca)} checkpoints, the other {len(cb)} — "
+                    f"the runs drained at different simulated times")
+    return ("  stream-hash checkpoints: all identical — the divergence is "
+            "outside the simulated event stream (formatting or metadata)")
 
 
 def main(argv: list[str]) -> int:
@@ -116,11 +176,13 @@ def main(argv: list[str]) -> int:
                   f"({len(a)} bytes, sha256 {digest})")
             continue
         off = first_difference(a, b)
-        ctx_a = a[max(0, off - 20):off + 20].decode(errors="replace")
-        ctx_b = b[max(0, off - 20):off + 20].decode(errors="replace")
         print(f"determinism-gate: FAIL: {name} diverges at byte {off} "
               f"(sizes {len(a)} vs {len(b)})\n"
-              f"  run1: ...{ctx_a!r}...\n  run2: ...{ctx_b!r}...")
+              f"  run1:\n{hex_context(a, off)}\n"
+              f"  run2:\n{hex_context(b, off)}")
+        located = localize_divergence(a, b)
+        if located is not None:
+            print(located)
         status = 1
     return status
 

@@ -1,0 +1,23 @@
+// Fixture: mutating expressions inside GTW_CHECK_HOOK arguments.  Both
+// sites below steer checker-only state from inside the macro, so the
+// checked build simulates a different world than the unchecked one.
+#define GTW_CHECK_HOOK(expr) \
+  do {                       \
+    expr;                    \
+  } while (false)
+
+struct Sampler {
+  unsigned long fires = 0;
+  bool armed = false;
+
+  void on_fire() {
+    GTW_CHECK_HOOK(++fires);        // mutating increment in hook argument
+    GTW_CHECK_HOOK(armed = false);  // assignment in hook argument
+  }
+
+  // Observe-only invocation: comparisons and calls are fine.
+  void on_probe(const Sampler* peer) {
+    GTW_CHECK_HOOK(if (peer != nullptr) peer->noop());
+  }
+  void noop() const {}
+};

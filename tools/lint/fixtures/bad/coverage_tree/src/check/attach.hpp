@@ -1,0 +1,15 @@
+// Fixture counterpart: the GTW-San catalog only knows net::Link, so the
+// net::Host instrumented in ../obs/instrument.hpp is a coverage hole.
+#pragma once
+
+namespace gtw::net {
+class Link;
+}  // namespace gtw::net
+
+namespace gtw::check {
+
+class Monitor;
+
+void attach_link(Monitor& mon, const net::Link& link);
+
+}  // namespace gtw::check

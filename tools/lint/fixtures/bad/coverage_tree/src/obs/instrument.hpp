@@ -1,0 +1,18 @@
+// Fixture: the obs catalog names two components (net::Link, net::Host)
+// but the src/check/ attach catalog in this tree only covers net::Link —
+// check-coverage must flag the net::Host blind spot once.
+#pragma once
+
+namespace gtw::net {
+class Link;
+class Host;
+}  // namespace gtw::net
+
+namespace gtw::obs {
+
+class Registry;
+
+void instrument_link(Registry& reg, const net::Link& link);
+void instrument_host(Registry& reg, const net::Host& host);
+
+}  // namespace gtw::obs

@@ -1,0 +1,28 @@
+// Fixture: observe-only GTW_CHECK_HOOK invocations plus checker-state
+// maintenance done the sanctioned way — inside an explicit #if block, not
+// inside the macro argument.  check-side-effect must stay silent.
+#define GTW_CHECK_HOOK(expr) \
+  do {                       \
+    expr;                    \
+  } while (false)
+
+struct Hook {
+  virtual ~Hook() = default;
+  virtual void on_fire(unsigned long seq) = 0;
+};
+
+struct Engine {
+  Hook* hook = nullptr;
+  unsigned long seq = 0;
+#if defined(GTW_CHECK)
+  bool check_live = false;
+#endif
+
+  void step() {
+#if defined(GTW_CHECK)
+    check_live = true;  // checker-state maintenance, outside the macro
+#endif
+    GTW_CHECK_HOOK(if (hook != nullptr) hook->on_fire(seq));
+    GTW_CHECK_HOOK(if (hook != nullptr && seq >= 1) hook->on_fire(seq - 1));
+  }
+};

@@ -1,0 +1,16 @@
+// Fixture counterpart: full coverage of the obs catalog next door.
+#pragma once
+
+namespace gtw::net {
+class Link;
+class Host;
+}  // namespace gtw::net
+
+namespace gtw::check {
+
+class Monitor;
+
+void attach_link(Monitor& mon, const net::Link& link);
+void attach_host(Monitor& mon, const net::Host& host);
+
+}  // namespace gtw::check

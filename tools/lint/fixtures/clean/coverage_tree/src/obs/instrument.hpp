@@ -1,0 +1,18 @@
+// Fixture: every component the obs catalog instruments also has an
+// attach_* entry in this tree's src/check/ catalog — check-coverage must
+// stay silent.
+#pragma once
+
+namespace gtw::net {
+class Link;
+class Host;
+}  // namespace gtw::net
+
+namespace gtw::obs {
+
+class Registry;
+
+void instrument_link(Registry& reg, const net::Link& link);
+void instrument_host(Registry& reg, const net::Host& host);
+
+}  // namespace gtw::obs

@@ -52,6 +52,14 @@ Per-file rules
   meta-raw-tcp          `TcpConnection` named in src/meta/ outside
                         path_transport.  The meta layer reaches the WAN
                         through meta::PathTransport only.
+  check-side-effect     A mutating expression (assignment, ++/--, compound
+                        assignment) inside the argument of a GTW_CHECK_HOOK(
+                        ...) invocation.  Hook sites must observe, never
+                        steer: anything they mutate exists only in checked
+                        builds, so a side effect here makes the checked and
+                        unchecked builds simulate different worlds.  Checker-
+                        private state maintenance belongs in an explicit
+                        `#if defined(GTW_CHECK)` block, not in the macro.
   unit-escape           A `.value()`/`.count()` extraction whose result
                         flows, on the same statement, back into a units::
                         construction or unit factory — in src/ outside
@@ -80,6 +88,14 @@ Whole-project rules (run after per-file scanning)
                         catalog (--emit-obs-catalog) that a ctest diffs
                         against the committed tools/lint/obs_catalog.json,
                         so new metrics must be cataloged in-diff.
+  check-coverage        Component types taken by instrument_*/bridge_*/
+                        attach_* functions in src/obs/ are diffed against
+                        the types taken by attach_* functions in src/check/:
+                        a component observable through the obs catalog but
+                        absent from the GTW-San attach catalog is a coverage
+                        hole — every instrumented component must also be
+                        checkable.  Runs only when the scan includes
+                        src/check/ files, so partial-tree scans stay silent.
   event-lifetime        (src/ only)  A schedule_after()/schedule_at() whose
                         returned EventHandle is discarded inside a member
                         function of a class that elsewhere stores handles —
@@ -412,6 +428,9 @@ POOLED_TYPES = ("Entry", "Frame", "IpPacket")
 UNIT_TYPES = ("Bytes", "Bits", "Cells", "Ops",
               "BitRate", "ByteRate", "OpRate")
 
+MUTATING_OPS = ("=", "++", "--", "+=", "-=", "*=", "/=", "%=",
+                "&=", "|=", "^=", "<<=", ">>=")
+
 RATE_NAME_RE = re.compile(r"\w*_(?:bps|Bps)$")
 # Scientific literal whose exponent normalizes to 6 or 9 (1E6, 2.4e+09, ...).
 SCI_RATE_RE = re.compile(r"^\d+(?:\.\d+)?[eE]\+?0*([69])$")
@@ -716,6 +735,29 @@ def check_per_file(sf: SourceFile, rep: Reporter) -> None:
                                    f"'{t.text}': visit order is unspecified "
                                    "and will diverge between runs; sort on a "
                                    "stable key first")
+
+    # ---- check-side-effect ----------------------------------------------
+    for i, t in enumerate(toks):
+        if not is_id(t, "GTW_CHECK_HOOK"):
+            continue
+        if i + 1 >= len(toks) or not is_p(toks[i + 1], "("):
+            continue
+        p = prev_tok(toks, i)
+        if p is not None and is_id(p, "define"):
+            continue  # the macro's own #define, not an invocation
+        close = matching_close(toks, i + 1, "(", ")")
+        if close is None:
+            continue
+        for k in range(i + 2, close):
+            tk = toks[k]
+            if tk.kind == "punct" and tk.text in MUTATING_OPS:
+                rep.report(sf, tk.line, "check-side-effect",
+                           f"mutating '{tk.text}' inside a GTW_CHECK_HOOK "
+                           "argument: hooks must observe, never steer — a "
+                           "side effect here exists only in checked builds, "
+                           "so checked and unchecked runs simulate different "
+                           "worlds; move checker-state maintenance into an "
+                           "explicit #if defined(GTW_CHECK) block")
 
     # ---- unit-escape -----------------------------------------------------
     if unit_escape_guard:
@@ -1216,6 +1258,77 @@ def obs_catalog(sites: list[ObsSite]) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Whole-project pass: GTW-San attach-catalog coverage
+# ---------------------------------------------------------------------------
+#
+# src/obs/ names the components worth observing (instrument_*/bridge_*/
+# attach_* parameter types); src/check/ names the components GTW-San can
+# check (attach_* parameter types).  The first set minus the second is the
+# sanitizer's blind spot, reported per missing component at the obs
+# declaration that proves the component matters.
+
+# Simulator modules whose qualified types count as components when they
+# appear in a catalog function's parameter list.  Deliberately excludes
+# units (value types), std, and the catalogs' own modules (obs, check).
+COMPONENT_MODULES = ("des", "net", "exec", "trace", "flow", "meta",
+                     "testbed", "linalg", "fire", "scanner", "viz", "apps")
+# Qualified value types that ride along in catalog signatures without
+# being components themselves.
+COMPONENT_IGNORE = {("des", "SimTime"), ("des", "EventHandle")}
+
+
+def collect_component_params(
+        files: list[SourceFile], subdir: str,
+        prefixes: tuple[str, ...]) -> dict[tuple[str, str],
+                                           tuple[SourceFile, int]]:
+    """Qualified component types named in the parameter lists (or argument
+    lists) of catalog functions under `subdir`, with a first witness."""
+    refs: dict[tuple[str, str], tuple[SourceFile, int]] = {}
+    for sf in files:
+        if not in_module(sf.relpath, subdir):
+            continue
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or not t.text.startswith(prefixes):
+                continue
+            if i + 1 >= len(toks) or not is_p(toks[i + 1], "("):
+                continue
+            close = matching_close(toks, i + 1, "(", ")")
+            if close is None:
+                continue
+            for k in range(i + 2, close - 1):
+                a = toks[k]
+                if (a.kind == "id" and a.text in COMPONENT_MODULES
+                        and is_p(toks[k + 1], "::")
+                        and toks[k + 2].kind == "id"):
+                    pair = (a.text, toks[k + 2].text)
+                    if pair not in COMPONENT_IGNORE:
+                        refs.setdefault(pair, (sf, a.line))
+    return refs
+
+
+def check_check_coverage(files: list[SourceFile], rep: Reporter) -> None:
+    # Partial-tree scans (single files, src/net only, ...) must stay
+    # silent: the diff is only meaningful when the check catalog was part
+    # of the scan at all.
+    if not any(in_module(sf.relpath, "src/check/") for sf in files):
+        return
+    observed = collect_component_params(
+        files, "src/obs/", ("instrument_", "bridge_", "attach_"))
+    checked = collect_component_params(files, "src/check/", ("attach_",))
+    for pair, (sf, line) in sorted(observed.items(),
+                                   key=lambda kv: kv[0]):
+        if pair not in checked:
+            rep.report(sf, line, "check-coverage",
+                       f"component type '{pair[0]}::{pair[1]}' is "
+                       "instrumented in src/obs/ but has no attach_* entry "
+                       "in the src/check/ GTW-San catalog — every "
+                       "observable component must also be checkable; add "
+                       "an attach_* taking it (src/check/attach.hpp) or "
+                       "justify the blind spot in-diff")
+
+
+# ---------------------------------------------------------------------------
 # Output & driver
 # ---------------------------------------------------------------------------
 
@@ -1223,10 +1336,11 @@ PER_FILE_RULES = [
     "unordered-container", "unordered-iter", "raw-entropy", "wall-clock",
     "pointer-order", "past-schedule", "raw-rate-double",
     "unitless-size-param", "raw-metric-print", "pool-bypass-new",
-    "meta-raw-tcp", "unit-escape",
+    "meta-raw-tcp", "unit-escape", "check-side-effect",
 ]
 PROJECT_RULES = [
     "layer-violation", "layer-cycle", "obs-name-registry", "event-lifetime",
+    "check-coverage",
 ]
 RULES = PER_FILE_RULES + PROJECT_RULES
 
@@ -1243,10 +1357,13 @@ RULE_HELP = {
     "pool-bypass-new": "heap allocation of a pooled event/packet record",
     "meta-raw-tcp": "raw TcpConnection in src/meta/",
     "unit-escape": ".value()/.count() re-entering unit-typed expressions",
+    "check-side-effect": "mutating expression inside GTW_CHECK_HOOK",
     "layer-violation": "include edge not allowed by the module DAG",
     "layer-cycle": "cycle in the module include graph",
     "obs-name-registry": "metric name kind/case collision",
     "event-lifetime": "discarded EventHandle or dangling [&] capture",
+    "check-coverage": "component observable via obs but absent from "
+                      "src/check/",
 }
 
 
@@ -1373,6 +1490,8 @@ def main(argv: list[str]) -> int:
         check_obs_registry(files, rep, obs_sites)
     if "event-lifetime" in active:
         check_event_lifetime(files, rep)
+    if "check-coverage" in active:
+        check_check_coverage(files, rep)
 
     findings = sorted((f for f in rep.findings if f.rule in active),
                       key=lambda f: (f.path, f.line, f.rule))

@@ -55,6 +55,10 @@ EXPECTATIONS = {
     # directory fixture: the handle-storing class lives in poller.hpp, the
     # discarding member fn in poller.cpp — proves the cross-file pass.
     "bad/src/event_lifetime": {"event-lifetime": 2},
+    "bad/check_side_effect.cpp": {"check-side-effect": 2},
+    # directory fixture with both src/obs/ and src/check/ catalogs: the
+    # whole-project coverage diff must flag the uncovered net::Host.
+    "bad/coverage_tree": {"check-coverage": 1},
     "clean/clean.cpp": {},
     "clean/allowed.cpp": {},
     "clean/src/metric_print_clean.cpp": {},
@@ -63,6 +67,8 @@ EXPECTATIONS = {
     "clean/src/unit_escape_clean.cpp": {},
     "clean/src/obs_registry_clean.cpp": {},
     "clean/src/event_lifetime_clean.cpp": {},
+    "clean/check_side_effect_clean.cpp": {},
+    "clean/coverage_tree": {},
     # every rule's trigger text inside comments / strings / raw strings:
     # the lexer must keep all rules silent.
     "clean/src/strings_comments.cpp": {},
