@@ -11,9 +11,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 
+#include "check/attach.hpp"
+#include "check/monitor.hpp"
 #include "fire/pipeline.hpp"
+#include "flow/graph.hpp"
 #include "meta/coallocation.hpp"
+#include "meta/metacomputer.hpp"
+#include "meta/path_transport.hpp"
+#include "obs/span.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {
@@ -89,6 +96,94 @@ void print_e2() {
   std::printf("\n");
 }
 
+// The spans companion to the printed table: the same sequential
+// scan->preprocess->WAN transfer->display loop, but run over the real
+// striped WAN path so every scan's end-to-end latency decomposes into a
+// causal span tree crossing flow (admission/compute), meta (chunk
+// striping), tcp (segments, stalls) and link (serialize/propagate).
+// Writes OBS_e2_delay_budget.spans.json; `gtw-trace <it> --budget`
+// reproduces the delay-budget table above from the spans alone, and
+// `--critical-path worst` prints the per-phase waterfall of the slowest
+// scan.  Sits under the double-run determinism replay gate.
+void emit_e2_spans() {
+  std::printf("spans: tracing %d scans through the striped WAN path\n", 4);
+  testbed::Testbed tb{testbed::TestbedOptions{}};
+  obs::SpanTracer spans;
+  tb.scheduler().set_span_hook(&spans);
+
+  meta::Metacomputer mc{tb.scheduler()};
+  meta::MachineSpec a;
+  a.name = "JUELICH";
+  a.frontend = &tb.gw_o200();
+  meta::MachineSpec b;
+  b.name = "GMD";
+  b.frontend = &tb.gw_e5000();
+  const int ma = mc.add_machine(a);
+  const int mb = mc.add_machine(b);
+  meta::PathConfig pc;
+  pc.tcp.mss = tb.options().atm_mtu - units::Bytes{40};
+  pc.tcp.recv_buffer = units::Bytes{4u << 20};
+  pc.streams = 4;
+  pc.chunk_bytes = units::Bytes{256u << 10};
+  pc.stream_window = units::Bytes{2u << 20};
+  pc.chunk_timeout = des::SimTime::milliseconds(400);
+  mc.link_machines(ma, mb, pc, 7000);
+
+  flow::GraphConfig gcfg;
+  gcfg.max_in_flight = 1;  // the paper's sequential request/reply loop
+  flow::StageGraph graph(tb.scheduler(), gcfg);
+
+  flow::StageConfig pre;
+  pre.name = "preprocess";
+  pre.body = [&tb](flow::StageContext, flow::Item&, flow::Done done) {
+    tb.scheduler().schedule_after(des::SimTime::milliseconds(200),
+                                  std::move(done));
+  };
+  graph.add_stage(std::move(pre));
+
+  flow::StageConfig xfer;
+  xfer.name = "wan-transfer";
+  xfer.body = [&mc, ma, mb](flow::StageContext, flow::Item&,
+                            flow::Done done) {
+    // 2 MB functional volume, striped into chunks over the WAN path; the
+    // item's trace context rides the chunks into tcp and the links.
+    mc.wan_send(ma, mb, units::Bytes{2u << 20},
+                [done = std::move(done)] { done(); });
+  };
+  graph.add_stage(std::move(xfer));
+
+  flow::StageConfig display;
+  display.name = "display";
+  display.body = [&tb](flow::StageContext, flow::Item&, flow::Done done) {
+    tb.scheduler().schedule_after(des::SimTime::milliseconds(600),
+                                  std::move(done));
+  };
+  graph.add_stage(std::move(display));
+
+#if defined(GTW_CHECK)
+  check::Monitor mon(tb.scheduler());
+  check::attach_testbed(mon, tb);
+  check::attach_span_tracer(mon, spans);
+#endif
+
+  for (int i = 0; i < 4; ++i) {
+    tb.scheduler().schedule_at(des::SimTime::seconds(3.0 * i),
+                               [&graph, i] { graph.push(i); });
+  }
+  tb.scheduler().run();
+#if defined(GTW_CHECK)
+  mon.finish();
+  mon.require_clean("e2_delay_budget");
+#endif
+
+  std::ofstream sp("OBS_e2_delay_budget.spans.json", std::ios::binary);
+  spans.write_json(sp, "e2_delay_budget");
+  sp.flush();
+  std::printf(sp ? "[wrote OBS_e2_delay_budget.spans.json — try gtw-trace "
+                   "OBS_e2_delay_budget.spans.json --budget]\n\n"
+                 : "[failed to write OBS_e2_delay_budget.spans.json]\n\n");
+}
+
 void BM_PipelineRun(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -101,6 +196,7 @@ BENCHMARK(BM_PipelineRun)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_e2();
+  emit_e2_spans();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

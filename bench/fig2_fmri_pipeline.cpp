@@ -20,6 +20,7 @@
 #include "obs/instrument.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "scanner/phantom.hpp"
 #include "testbed/testbed.hpp"
 #include "trace/trace.hpp"
@@ -62,8 +63,13 @@ void print_fig2(bool with_trace) {
   trace::TraceRecorder rec(4);  // transfer / compute / return / display
   obs::Registry reg;
   obs::TimeSeriesSampler sampler(tb.scheduler(), reg);
+  obs::SpanTracer spans;
   if (with_trace) {
     pipe.attach_trace(&rec);
+    // Causal span tracing (DESIGN.md section 13): per-scan latency trees
+    // rooted at pipeline admission.  Observe-only — attaching the hook
+    // schedules nothing and BENCH_*.json stays byte-identical.
+    tb.scheduler().set_span_hook(&spans);
     obs::instrument_link(reg, tb.wan_link_j_to_g(), "net.link.wan_j_to_g");
     obs::instrument_link(reg, tb.wan_link_g_to_j(), "net.link.wan_g_to_j");
     obs::instrument_host(reg, tb.scanner_frontend());
@@ -86,6 +92,7 @@ void print_fig2(bool with_trace) {
   check::Monitor mon(tb.scheduler());
   check::attach_testbed(mon, tb);
   check::attach_flow_metrics(mon, pipe.metrics(), "fire");
+  check::attach_span_tracer(mon, spans);
 #endif
   pipe.start();
   tb.scheduler().run();
@@ -180,8 +187,12 @@ void print_fig2(bool with_trace) {
                            std::ios::binary);
       obs::write_series_json(series, sampler);
     }
+    {
+      std::ofstream sp("OBS_fig2_fmri_pipeline.spans.json", std::ios::binary);
+      spans.write_json(sp, "fig2_fmri_pipeline");
+    }
     std::printf("[wrote OBS_fig2_fmri_pipeline.{trace.gtwt,chrome.json,"
-                "metrics.json,series.json}]\n\n");
+                "metrics.json,series.json,spans.json}]\n\n");
   }
 }
 

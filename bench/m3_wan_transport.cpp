@@ -43,6 +43,7 @@
 #include "obs/exporter.hpp"
 #include "obs/instrument.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {
@@ -133,7 +134,18 @@ Row run_case(double distance_km, std::string_view schedule,
   }
 
   obs::Registry reg;
-  if (emit_obs) obs::instrument_path_transport(reg, path, "wan");
+  obs::SpanTracer spans;
+  if (emit_obs) {
+    obs::instrument_path_transport(reg, path, "wan");
+    // Causal spans for the transfer: keep the meta/tcp layers (chunk
+    // striping, stalls, resets) but drop the per-frame link/host/atm spans
+    // — a 128 MB transfer is ~15k frames and the per-frame detail adds
+    // nothing to the stall/reset story this bench tells.
+    spans.enable_layer("link", false);
+    spans.enable_layer("host", false);
+    spans.enable_layer("atm", false);
+    tb.scheduler().set_span_hook(&spans);
+  }
 
 #if defined(GTW_CHECK)
   // GTW-San: the exactly-once / in-order delivery contract must hold even
@@ -142,6 +154,7 @@ Row run_case(double distance_km, std::string_view schedule,
   check::attach_testbed(mon, tb);
   check::attach_path_transport(mon, path, "wan");
   check::attach_fault_plan(mon, plan);
+  check::attach_span_tracer(mon, spans);
 #endif
 
   des::SimTime done = des::SimTime::zero();
@@ -154,10 +167,14 @@ Row run_case(double distance_km, std::string_view schedule,
 #endif
 
   if (emit_obs) {
-    std::ofstream metrics("OBS_m3_wan_transport.metrics.json",
-                          std::ios::binary);
-    obs::write_metrics_json(metrics, reg,
-                            "m3_wan_transport loss_outage multi8 100km");
+    {
+      std::ofstream metrics("OBS_m3_wan_transport.metrics.json",
+                            std::ios::binary);
+      obs::write_metrics_json(metrics, reg,
+                              "m3_wan_transport loss_outage multi8 100km");
+    }
+    std::ofstream sp("OBS_m3_wan_transport.spans.json", std::ios::binary);
+    spans.write_json(sp, "m3_wan_transport loss_outage multi8 100km");
   }
 
   Row r;

@@ -412,6 +412,24 @@ void attach_fault_plan(Monitor& mon, net::FaultPlan& plan,
                       });
 }
 
+// --- obs --------------------------------------------------------------------
+
+void attach_span_tracer(Monitor& mon, const obs::SpanTracer& tracer,
+                        const std::string& prefix) {
+  mon.add_drain_check(prefix + ".leak",
+                      [&tracer]() -> std::optional<std::string> {
+                        if (tracer.open_spans() == 0) return std::nullopt;
+                        return std::to_string(tracer.open_spans()) +
+                               " span(s) still open at drain";
+                      });
+  mon.add_drain_check(prefix + ".trace-leak",
+                      [&tracer]() -> std::optional<std::string> {
+                        if (tracer.open_traces() == 0) return std::nullopt;
+                        return std::to_string(tracer.open_traces()) +
+                               " trace(s) still open at drain";
+                      });
+}
+
 // --- whole topology ---------------------------------------------------------
 
 void attach_testbed(Monitor& mon, testbed::Testbed& tb) {

@@ -35,6 +35,7 @@
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "net/tcp.hpp"
+#include "obs/span.hpp"
 #include "testbed/testbed.hpp"
 
 namespace gtw::check {
@@ -182,6 +183,15 @@ void attach_flow_metrics(Monitor& mon, const flow::MetricsRegistry& metrics,
 // drained), and active_faults() never goes negative.
 void attach_fault_plan(Monitor& mon, net::FaultPlan& plan,
                        const std::string& prefix = "fault");
+
+// --- obs --------------------------------------------------------------------
+// Span-lifecycle leak census over the causal tracer (DESIGN.md section 13):
+// once the run drains, every span begun must have been ended or aborted and
+// every trace closed — an open span at drain is a component that began
+// timing work and lost track of it (the tracing analogue of a stranded
+// chunk).  Registered as drain checks under `prefix`.
+void attach_span_tracer(Monitor& mon, const obs::SpanTracer& tracer,
+                        const std::string& prefix = "obs.span");
 
 // --- whole topology ---------------------------------------------------------
 // Arms the full sweep over an assembled testbed: scheduler, every host,

@@ -46,6 +46,7 @@ EventHandle Scheduler::schedule_at(SimTime when, Action action) {
   const std::uint64_t seq = e.seq;
   GTW_CHECK_HOOK(if (check_hook_ != nullptr)
                      check_hook_->on_schedule(when, now_, seq));
+  if (span_hook_ != nullptr) span_hook_->on_event_scheduled(seq);
   ++live_events_;
   place(QItem{when, seq, id});
   maybe_resize();
@@ -123,6 +124,7 @@ void Scheduler::cancel(std::uint64_t seq, EventId slot) {
   }
   GTW_CHECK_HOOK(if (check_hook_ != nullptr) check_hook_->on_cancel(
       seq, SchedulerCheckHook::CancelOutcome::kCancelled));
+  if (span_hook_ != nullptr) span_hook_->on_event_cancel(seq);
   e.cancelled = true;
   // Drop the capture now rather than at sweep/pop time — cancelled events
   // routinely hold the largest captures (retransmit timers with packets).
@@ -247,7 +249,13 @@ bool Scheduler::step(SimTime horizon) {
   Action action = std::move(pool_[it.id].action);
   release_entry(it.id);
   maybe_resize();
-  action();
+  if (span_hook_ != nullptr) {
+    span_hook_->on_event_fire(it.seq);
+    action();
+    span_hook_->on_event_done();
+  } else {
+    action();
+  }
   return true;
 }
 

@@ -23,6 +23,7 @@
 #include "des/action.hpp"
 #include "des/check_hook.hpp"
 #include "des/pool.hpp"
+#include "des/span_hook.hpp"
 #include "des/time.hpp"
 
 namespace gtw::des {
@@ -104,6 +105,14 @@ class Scheduler {
   // The slot exists in every build; the notifying call sites are
   // GTW_CHECK_HOOK-guarded and compile away when checking is off.
   void set_check_hook(SchedulerCheckHook* hook) { check_hook_ = hook; }
+
+  // Causal tracing (obs::SpanTracer, DESIGN.md §13): observe schedule/
+  // fire/cancel so trace context propagates through continuation chains.
+  // Present in every build; a null hook costs one branch per site.  The
+  // hook must outlive the scheduler or be detached with nullptr first; it
+  // observes only and never steers the schedule.
+  void set_span_hook(SpanHook* hook) { span_hook_ = hook; }
+  SpanHook* span_hook() const { return span_hook_; }
 #if defined(GTW_CHECK)
   std::uint64_t pool_double_frees() const {
     return pool_.check_double_frees();
@@ -191,6 +200,7 @@ class Scheduler {
   std::size_t overflow_high_water_ = 0;
   std::uint64_t resizes_ = 0;
   SchedulerCheckHook* check_hook_ = nullptr;
+  SpanHook* span_hook_ = nullptr;
 };
 
 }  // namespace gtw::des

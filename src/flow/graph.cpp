@@ -23,6 +23,16 @@ void StageContext::trace_recv(int at_stage, std::uint32_t tag,
 StageGraph::StageGraph(des::Scheduler& sched, GraphConfig cfg)
     : sched_(sched), cfg_(cfg) {}
 
+StageGraph::~StageGraph() {
+  des::SpanHook* h = sched_.span_hook();
+  if (h == nullptr) return;
+  for (auto& [id, is] : live_) {
+    h->abort_span(is.wait_span, sched_.now());
+    h->abort_span(is.body_span, sched_.now());
+    if (is.owns_trace) h->abort_trace(is.ctx, "teardown", sched_.now());
+  }
+}
+
 int StageGraph::add_stage(StageConfig cfg) {
   const int idx = static_cast<int>(stages_.size());
   metrics_.add_stage(cfg.name, cfg.concurrency);
@@ -41,6 +51,18 @@ void StageGraph::push(int index, std::any payload) {
   st.item.id = id;
   st.item.index = index;
   st.item.payload = std::move(payload);
+  if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+    // Workload origin: an item pushed outside any traced event starts a
+    // fresh trace; one pushed from inside (e.g. a stage body fanning out)
+    // joins the trace of its cause.
+    st.ctx = h->current();
+    if (!st.ctx.valid()) {
+      st.ctx = h->mint("flow.push", sched_.now());
+      st.owns_trace = true;
+    }
+    st.wait_span = h->begin_span(st.ctx, des::SpanPhase::kQueueWait, "flow",
+                                 "admission", sched_.now());
+  }
   live_.emplace(id, std::move(st));
   admission_.push_back(id);
   if (admission_.size() > metrics_.admission_peak)
@@ -82,6 +104,11 @@ void StageGraph::supersede_waiting() {
     ++metrics_.admission_dropped;
     if (degraded_) ++metrics_.degraded_dropped;
     auto it = live_.find(stale);
+    if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+      h->abort_span(it->second.wait_span, sched_.now());
+      if (it->second.owns_trace)
+        h->abort_trace(it->second.ctx, "superseded", sched_.now());
+    }
     if (drop_) drop_(it->second.item, -1);
     live_.erase(it);
   }
@@ -114,6 +141,14 @@ void StageGraph::enqueue(int s, std::uint64_t id) {
       st.queue.size() >= st.cfg.capacity) {
     drop_queued(s, id);
     return;
+  }
+  if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+    // An item arriving from the previous stage starts waiting here; one
+    // released from a kBlock hold keeps its already-open wait span.
+    ItemState& is = live_.find(id)->second;
+    if (is.ctx.valid() && is.wait_span == 0)
+      is.wait_span = h->begin_span(is.ctx, des::SpanPhase::kQueueWait, "flow",
+                                   st.cfg.name.c_str(), sched_.now());
   }
   st.queue.push_back(id);
   note_queue(s);
@@ -157,9 +192,23 @@ void StageGraph::start(int s, std::uint64_t id) {
   }
   tracer_.enter(static_cast<std::uint32_t>(s), tracer_.state(st.cfg.name),
                 is.started);
+  des::SpanHook* h = sched_.span_hook();
+  const bool traced = h != nullptr && is.ctx.valid();
+  des::TraceContext prev;
+  if (traced) {
+    h->end_span(is.wait_span, is.started);
+    is.wait_span = 0;
+    is.body_span = h->begin_span(is.ctx, des::SpanPhase::kCompute,
+                                 "flow",
+                                 st.cfg.name.c_str(), is.started);
+    // Run the body under its own span so whatever it launches (a WAN
+    // transfer, a CPU job) nests beneath this stage in the span tree.
+    prev = h->adopt(des::under(is.ctx, is.body_span));
+  }
   st.cfg.body(StageContext{this, s}, is.item,
               [this, s, id]() { finish(s, id); });
   // `is` may be gone here: a synchronous Done can complete the item.
+  if (traced) h->adopt(prev);
 }
 
 void StageGraph::finish(int s, std::uint64_t id) {
@@ -176,6 +225,11 @@ void StageGraph::finish(int s, std::uint64_t id) {
   m.last_finish = now;
   tracer_.leave(static_cast<std::uint32_t>(s), tracer_.state(st.cfg.name),
                 now);
+  des::SpanHook* h = sched_.span_hook();
+  if (h != nullptr) {
+    h->end_span(is.body_span, now);
+    is.body_span = 0;
+  }
 
   const int next = s + 1;
   if (next < stage_count()) {
@@ -183,6 +237,9 @@ void StageGraph::finish(int s, std::uint64_t id) {
     if (nx.cfg.policy == QueuePolicy::kBlock && nx.cfg.capacity > 0 &&
         nx.queue.size() >= nx.cfg.capacity) {
       // Backpressure: keep holding this stage's slot until there is room.
+      if (h != nullptr && is.ctx.valid())
+        is.wait_span = h->begin_span(is.ctx, des::SpanPhase::kQueueWait,
+                                     "flow", st.cfg.name.c_str(), now);
       st.blocked.push_back(id);
       return;
     }
@@ -230,7 +287,15 @@ void StageGraph::leave_graph(std::uint64_t id) {
     ++metrics_.recoveries;
     metrics_.last_recovery_time = sched_.now() - recovery_started_;
   }
+  des::SpanHook* h = sched_.span_hook();
+  des::TraceContext prev;
+  if (h != nullptr) prev = h->adopt(it->second.ctx);
   if (complete_) complete_(it->second.item);
+  if (h != nullptr) {
+    h->adopt(prev);
+    if (it->second.owns_trace)
+      h->close_trace(it->second.ctx, sched_.now());
+  }
   live_.erase(it);
   --in_flight_;
   admit_pending();
@@ -239,6 +304,12 @@ void StageGraph::leave_graph(std::uint64_t id) {
 void StageGraph::drop_queued(int s, std::uint64_t id) {
   ++metrics_.stage(s).dropped;
   auto it = live_.find(id);
+  if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+    h->abort_span(it->second.wait_span, sched_.now());
+    h->abort_span(it->second.body_span, sched_.now());
+    if (it->second.owns_trace)
+      h->abort_trace(it->second.ctx, "dropped", sched_.now());
+  }
   if (drop_) drop_(it->second.item, s);
   live_.erase(it);
   --in_flight_;

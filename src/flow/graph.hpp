@@ -83,6 +83,9 @@ struct GraphConfig {
 class StageGraph {
  public:
   explicit StageGraph(des::Scheduler& sched, GraphConfig cfg = {});
+  // Items still in the graph at teardown retire their spans as aborted so
+  // the tracer's leak census stays clean (obs, DESIGN.md section 13).
+  ~StageGraph();
 
   // Append a stage; returns its index (== its trace rank).
   int add_stage(StageConfig cfg);
@@ -132,6 +135,14 @@ class StageGraph {
     int stage = -1;        // current stage once started
     bool in_body = false;  // body running, Done not yet called
     des::SimTime started;
+    // Causal trace of this item (obs): minted at push() when the graph is
+    // the workload origin, closed (or aborted, for drops) when the item
+    // leaves.  Exactly one of wait_span/body_span is open at any moment
+    // the item is inside the graph.
+    des::TraceContext ctx;
+    bool owns_trace = false;
+    std::uint64_t wait_span = 0;  // queue-wait: admission, stage queue, block
+    std::uint64_t body_span = 0;  // compute: stage body running
   };
   struct Stage {
     StageConfig cfg;

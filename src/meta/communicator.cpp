@@ -64,19 +64,50 @@ void Communicator::send(int src_rank, int dst_rank, int tag,
     // stays pinned: on_sent is deferred to the first successful delivery
     // (and never fires if the message is reported unreachable).
     st->on_sent = std::move(on_sent);
+    if (des::SpanHook* h = mc_->scheduler().span_hook(); h != nullptr) {
+      st->ctx = h->current();
+      if (!st->ctx.valid()) {
+        st->ctx = h->mint("comm.wan", mc_->scheduler().now());
+        st->owns_trace = true;
+      }
+    }
     wan_attempt(std::move(st));
     return;
   } else {
+    des::SpanHook* h = mc_->scheduler().span_hook();
+    des::TraceContext ctx;
+    bool minted = false;
+    if (h != nullptr) {
+      ctx = h->current();
+      if (!ctx.valid()) {
+        ctx = h->mint("comm.wan", mc_->scheduler().now());
+        minted = true;
+      }
+    }
+    des::TraceContext prev;
+    if (h != nullptr) prev = h->adopt(ctx);
     mc_->wan_send(src.machine, dst.machine, units::Bytes{bytes},
-                  [this, dst_rank, msg = std::move(msg)]() mutable {
+                  [this, dst_rank, ctx, minted,
+                   msg = std::move(msg)]() mutable {
                     deliver(dst_rank, std::move(msg));
+                    if (des::SpanHook* h2 = mc_->scheduler().span_hook();
+                        h2 != nullptr && minted)
+                      h2->close_trace(ctx, mc_->scheduler().now());
                   });
+    if (h != nullptr) h->adopt(prev);
   }
   if (on_sent) on_sent();
 }
 
 void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
   ++st->attempts;
+  // Run the attempt under the message's trace: the transport spans of this
+  // attempt — and the watchdog armed below — nest under st->ctx (or under
+  // the retry-backoff span once one is open, so resent copies read as
+  // children of the stall that caused them).
+  des::SpanHook* h = mc_->scheduler().span_hook();
+  des::TraceContext prev;
+  if (h != nullptr) prev = h->adopt(des::under(st->ctx, st->retry_span));
   mc_->wan_send(st->src_machine, st->dst_machine, units::Bytes{st->bytes},
                 [this, st]() {
     GTW_CHECK_HOOK(if (check_observer_ != nullptr)
@@ -98,12 +129,19 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
     }
     st->delivered = true;
     st->watchdog.cancel();
+    if (des::SpanHook* h2 = mc_->scheduler().span_hook(); h2 != nullptr) {
+      h2->end_span(st->retry_span, mc_->scheduler().now());
+      st->retry_span = 0;
+    }
     if (st->on_sent) {
       Callback sent = std::move(st->on_sent);
       st->on_sent = nullptr;
       sent();
     }
     deliver(st->dst_rank, std::move(st->msg));
+    if (des::SpanHook* h2 = mc_->scheduler().span_hook();
+        h2 != nullptr && st->owns_trace)
+      h2->close_trace(st->ctx, mc_->scheduler().now());
   });
   st->watchdog = mc_->scheduler().schedule_after(st->next_timeout, [this, st]() {
     if (st->delivered) return;
@@ -113,18 +151,34 @@ void Communicator::wan_attempt(std::shared_ptr<WanSendState> st) {
       GTW_CHECK_HOOK(if (check_observer_ != nullptr)
                          check_observer_->on_unreachable(st->src_rank,
                                                          st->dst_rank));
+      if (des::SpanHook* h2 = mc_->scheduler().span_hook(); h2 != nullptr) {
+        // The message is dead: retire the retry span and the whole trace
+        // as aborted so the tracer's leak census stays clean even though
+        // no delivery will ever close them.
+        h2->abort_span(st->retry_span, mc_->scheduler().now());
+        st->retry_span = 0;
+        if (st->owns_trace)
+          h2->abort_trace(st->ctx, "unreachable", mc_->scheduler().now());
+      }
       if (unreachable_)
         unreachable_(st->src_rank, st->dst_rank, st->attempts);
       return;
     }
     ++reliability_.wan_retries;
     ++peer_traffic_[{st->src_rank, st->dst_rank}].retries;
+    if (des::SpanHook* h2 = mc_->scheduler().span_hook();
+        h2 != nullptr && st->retry_span == 0 && st->ctx.valid()) {
+      st->retry_span =
+          h2->begin_span(st->ctx, des::SpanPhase::kRetryBackoff, "comm",
+                         "retry", mc_->scheduler().now());
+    }
     st->next_timeout =
         des::SimTime::seconds(st->next_timeout.sec() * retry_.backoff);
     if (st->next_timeout > retry_.max_timeout)
       st->next_timeout = retry_.max_timeout;
     wan_attempt(st);
   });
+  if (h != nullptr) h->adopt(prev);
 }
 
 void Communicator::send_typed(int src_rank, int dst_rank, int tag,

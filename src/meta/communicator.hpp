@@ -236,6 +236,13 @@ class Communicator {
     des::SimTime next_timeout;
     des::EventHandle watchdog;
     Callback on_sent;  // deferred until the first successful delivery
+    // Causal trace of the guarded message (obs): minted here when the send
+    // is a workload origin; every attempt's transport spans nest under it.
+    des::TraceContext ctx;
+    bool owns_trace = false;
+    // Open retry-backoff span: begun when the first watchdog-triggered
+    // resend is issued, ended at delivery, aborted on unreachable.
+    std::uint64_t retry_span = 0;
   };
 
   void deliver(int dst_rank, Message msg);

@@ -21,7 +21,20 @@ PathTransport::PathTransport(des::Scheduler& sched, net::Host& a, net::Host& b,
   for (Stream& s : streams_) open_stream(s);
 }
 
-PathTransport::~PathTransport() = default;
+PathTransport::~PathTransport() {
+  des::SpanHook* h = sched_.span_hook();
+  if (h == nullptr) return;
+  // Messages still in flight at teardown retire their spans as aborted and
+  // their traces as torn down; nothing may leak into the tracer's census.
+  for (int side = 0; side < 2; ++side) {
+    for (auto& [seq, msg] : messages_[side]) {
+      for (Chunk& c : msg.chunks) h->abort_span(c.span, sched_.now());
+      h->abort_span(msg.rx_span, sched_.now());
+      h->abort_span(msg.span, sched_.now());
+      if (msg.owns_trace) h->abort_trace(msg.ctx, "teardown", sched_.now());
+    }
+  }
+}
 
 void PathTransport::open_stream(Stream& s) {
   const std::uint16_t pa = next_port_;
@@ -44,16 +57,36 @@ void PathTransport::send(int side, units::Bytes amount,
   ++st.messages;
   st.bytes += amount.count();
 
+  // Causal trace for the logical message: inherit the running event's
+  // context, or mint a fresh root when this send is a workload origin.
+  des::SpanHook* h = sched_.span_hook();
+  des::TraceContext ctx;
+  bool minted = false;
+  if (h != nullptr) {
+    ctx = h->current();
+    if (!ctx.valid()) {
+      ctx = h->mint("meta.path", sched_.now());
+      minted = true;
+    }
+  }
+
   if (cfg_.passthrough()) {
     // Single plain connection: hand the whole message straight to TCP so
     // the event sequence matches a bare TcpConnection exactly.
     ++st.chunks;
     streams_[0].stats[side].chunks += 1;
     streams_[0].stats[side].bytes += amount.count();
+    std::uint64_t span = 0;
+    des::TraceContext prev;
+    if (h != nullptr && ctx.valid()) {
+      span = h->begin_span(ctx, des::SpanPhase::kTransfer, "meta", "msg",
+                           sched_.now());
+      prev = h->adopt(des::under(ctx, span));
+    }
     streams_[0].conn->send(
         side, amount, {},
-        [this, side, amount, cb = std::move(on_delivered)](
-            const std::any&, des::SimTime) {
+        [this, side, amount, span, ctx, minted,
+         cb = std::move(on_delivered)](const std::any&, des::SimTime) {
           Stats& sst = stats_[side];
           ++sst.delivered_messages;
           sst.delivered_bytes += amount.count();
@@ -63,8 +96,15 @@ void PathTransport::send(int side, units::Bytes amount,
                              check_observer_->on_message(
                                  side, sst.delivered_messages - 1,
                                  amount.count()));
-          if (cb) cb();
+          if (des::SpanHook* h2 = sched_.span_hook(); h2 != nullptr) {
+            h2->end_span(span, sched_.now());
+            if (cb) cb();
+            if (minted) h2->close_trace(ctx, sched_.now());
+          } else {
+            if (cb) cb();
+          }
         });
+    if (h != nullptr && ctx.valid()) h->adopt(prev);
     return;
   }
 
@@ -72,6 +112,11 @@ void PathTransport::send(int side, units::Bytes amount,
   MessageState& msg = messages_[side][seq];
   msg.bytes = amount;
   msg.cb = std::move(on_delivered);
+  msg.ctx = ctx;
+  msg.owns_trace = minted;
+  if (h != nullptr && ctx.valid())
+    msg.span = h->begin_span(ctx, des::SpanPhase::kTransfer, "meta", "msg",
+                             sched_.now());
   // Stripe into chunks; a message no larger than one chunk stays whole
   // (degenerate single-chunk stripe), and a zero-byte message still costs
   // one zero-length chunk so ordering and delivery semantics hold.
@@ -84,6 +129,11 @@ void PathTransport::send(int side, units::Bytes amount,
   } while (remaining > 0);
 
   for (std::uint32_t i = 0; i < msg.chunks.size(); ++i) {
+    if (h != nullptr && msg.ctx.valid())
+      msg.chunks[i].span =
+          h->begin_span(des::under(msg.ctx, msg.span),
+                        des::SpanPhase::kQueueWait, "meta", "chunk",
+                        sched_.now());
     const int target = rr_cursor_[side] % active_streams_;
     rr_cursor_[side] = (rr_cursor_[side] + 1) % active_streams_;
     streams_[static_cast<std::size_t>(target)].side[side].pending.push_back(
@@ -142,17 +192,32 @@ void PathTransport::pump(int stream, int side) {
 void PathTransport::dispatch(int stream, int side, ChunkRef ref) {
   Stream& s = streams_[static_cast<std::size_t>(stream)];
   StreamSide& ss = s.side[side];
-  const units::Bytes bytes = messages_[side][ref.msg_seq].chunks[ref.idx].bytes;
+  MessageState& msg = messages_[side][ref.msg_seq];
+  Chunk& chunk = msg.chunks[ref.idx];
+  const units::Bytes bytes = chunk.bytes;
   if (ss.outstanding.empty()) ss.last_progress = sched_.now();
   ss.outstanding.push_back(ref);
   ss.inflight_bytes += bytes.count();
   ++stats_[side].chunks;
   s.stats[side].chunks += 1;
   s.stats[side].bytes += bytes.count();
+  des::SpanHook* h = sched_.span_hook();
+  const bool traced = h != nullptr && msg.ctx.valid();
+  des::TraceContext prev;
+  if (traced) {
+    // Striping queue-wait ends here; the chunk rides its TCP stream under
+    // a transfer span and under the message's own trace.
+    h->end_span(chunk.span, sched_.now());
+    chunk.span = h->begin_span(des::under(msg.ctx, msg.span),
+                               des::SpanPhase::kTransfer, "meta", "chunk",
+                               sched_.now());
+    prev = h->adopt(des::under(msg.ctx, chunk.span));
+  }
   s.conn->send(side, bytes, {},
                [this, stream, side, ref](const std::any&, des::SimTime) {
                  on_chunk_delivered(stream, side, ref);
                });
+  if (traced) h->adopt(prev);
   arm_watchdog(stream, side);
 }
 
@@ -174,6 +239,18 @@ void PathTransport::on_chunk_delivered(int stream, int side, ChunkRef ref) {
   ++mit->second.chunks_done;
   GTW_CHECK_HOOK(if (check_observer_ != nullptr) check_observer_->on_chunk(
       side, ref.msg_seq, ref.idx, /*duplicate=*/false));
+  if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+    h->end_span(chunk.span, sched_.now());
+    chunk.span = 0;
+    // First chunk to land opens the reassembly/reorder wait: the receiver
+    // holds partial data until the stripe completes and every earlier
+    // message has gone up.
+    MessageState& msg = mit->second;
+    if (msg.ctx.valid() && msg.rx_span == 0)
+      msg.rx_span = h->begin_span(des::under(msg.ctx, msg.span),
+                                  des::SpanPhase::kReassemblyWait, "meta",
+                                  "reorder", sched_.now());
+  }
 
   const auto out = std::find_if(
       ss.outstanding.begin(), ss.outstanding.end(), [&](const ChunkRef& r) {
@@ -205,7 +282,18 @@ void PathTransport::deliver_ready(int side) {
     st.delivered_bytes += msg.bytes.count();
     GTW_CHECK_HOOK(if (check_observer_ != nullptr) check_observer_->on_message(
         side, next_deliver_seq_[side] - 1, msg.bytes.count()));
+    des::SpanHook* h = sched_.span_hook();
+    des::TraceContext prev;
+    if (h != nullptr) {
+      h->end_span(msg.rx_span, sched_.now());
+      h->end_span(msg.span, sched_.now());
+      prev = h->adopt(msg.ctx);
+    }
     if (msg.cb) msg.cb();
+    if (h != nullptr) {
+      h->adopt(prev);
+      if (msg.owns_trace) h->close_trace(msg.ctx, sched_.now());
+    }
     it = messages_[side].find(next_deliver_seq_[side]);
   }
 }
@@ -258,6 +346,23 @@ void PathTransport::reset_stream(int stream) {
                                               : a.idx < b.idx;
               });
     stats_[side].chunk_resends += redo.size();
+    if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+      // A stranded chunk's transfer died with the connection: retire its
+      // span as aborted and restart the clock as queue-wait for the
+      // re-issue, so the trace shows the reset instead of one long blur.
+      for (const ChunkRef& ref : redo) {
+        auto mit = messages_[side].find(ref.msg_seq);
+        if (mit == messages_[side].end()) continue;
+        Chunk& c = mit->second.chunks[ref.idx];
+        h->abort_span(c.span, sched_.now());
+        c.span = 0;
+        if (mit->second.ctx.valid())
+          c.span =
+              h->begin_span(des::under(mit->second.ctx, mit->second.span),
+                            des::SpanPhase::kQueueWait, "meta", "chunk",
+                            sched_.now());
+      }
+    }
     for (auto rit = redo.rbegin(); rit != redo.rend(); ++rit)
       ss.pending.push_front(*rit);
   }

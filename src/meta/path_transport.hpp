@@ -174,12 +174,20 @@ class PathTransport {
   struct Chunk {
     units::Bytes bytes{0};
     bool delivered = false;
+    // Open span riding the chunk (obs): queue-wait while assigned-but-
+    // undispatched, transfer while in TCP.  A stall reset aborts the
+    // transfer span and reopens a queue-wait span for the re-issue.
+    std::uint64_t span = 0;
   };
   struct MessageState {
     units::Bytes bytes{0};
     DeliveredCallback cb;
     std::vector<Chunk> chunks;
     std::uint32_t chunks_done = 0;
+    des::TraceContext ctx;      // trace of the logical message (obs)
+    bool owns_trace = false;    // minted at send(); close_trace on delivery
+    std::uint64_t span = 0;     // meta transfer span, send -> in-order handoff
+    std::uint64_t rx_span = 0;  // reassembly/reorder wait at the receiver
     bool complete() const {
       return chunks_done == static_cast<std::uint32_t>(chunks.size());
     }

@@ -39,10 +39,23 @@ void AtmSwitch::on_frame(int port, Frame f) {
   }
   const auto [out_port, out_vc] = it->second;
   f.vc = out_vc;
+  des::SpanHook* h = sched_.span_hook();
+  const bool traced = h != nullptr && f.pkt.ctx.valid();
+  des::TraceContext prev;
+  if (traced) {
+    f.span = h->begin_span(f.pkt.ctx, des::SpanPhase::kPropagate, "atm",
+                           name_.c_str(), sched_.now());
+    prev = h->adopt(f.pkt.ctx);
+  }
   // Cell-level cut-through latency through the fabric.
   sched_.schedule_after(latency_, [this, out_port, f = std::move(f)]() mutable {
+    if (des::SpanHook* h2 = sched_.span_hook(); h2 != nullptr) {
+      h2->end_span(f.span, sched_.now());
+      f.span = 0;
+    }
     ports_.at(out_port).out->submit(std::move(f));
   });
+  if (traced) h->adopt(prev);
 }
 
 AtmNic::AtmNic(des::Scheduler& sched, Host& owner, std::string name,
@@ -81,9 +94,23 @@ void AtmNic::transmit(IpPacket pkt, HostId next_hop) {
   if (release <= sched_.now()) {
     uplink_.submit(std::move(f));
   } else {
+    des::SpanHook* h = sched_.span_hook();
+    const bool traced = h != nullptr && f.pkt.ctx.valid();
+    des::TraceContext prev;
+    if (traced) {
+      // CBR shaping delay is queue-wait spent at the NIC, not on the wire.
+      f.span = h->begin_span(f.pkt.ctx, des::SpanPhase::kQueueWait, "atm",
+                             name_.c_str(), sched_.now());
+      prev = h->adopt(f.pkt.ctx);
+    }
     sched_.schedule_at(release, [this, f = std::move(f)]() mutable {
+      if (des::SpanHook* h2 = sched_.span_hook(); h2 != nullptr) {
+        h2->end_span(f.span, sched_.now());
+        f.span = 0;
+      }
       uplink_.submit(std::move(f));
     });
+    if (traced) h->adopt(prev);
   }
 }
 

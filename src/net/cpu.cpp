@@ -3,7 +3,9 @@
 namespace gtw::net {
 
 void CpuResource::execute(des::SimTime cost, des::Action done) {
-  queue_.push_back(Job{cost, std::move(done)});
+  des::SpanHook* h = sched_.span_hook();
+  queue_.push_back(Job{cost, std::move(done),
+                       h != nullptr ? h->current() : des::TraceContext{}});
   maybe_start();
 }
 
@@ -11,6 +13,9 @@ void CpuResource::maybe_start() {
   if (busy_ || queue_.empty()) return;
   busy_ = true;
   busy_accum_ += queue_.front().cost;
+  des::SpanHook* h = sched_.span_hook();
+  const des::TraceContext prev =
+      h != nullptr ? h->adopt(queue_.front().ctx) : des::TraceContext{};
   sched_.schedule_after(queue_.front().cost, [this]() {
     Job job = std::move(queue_.front());
     queue_.pop_front();
@@ -19,6 +24,7 @@ void CpuResource::maybe_start() {
     job.done();
     maybe_start();
   });
+  if (h != nullptr) h->adopt(prev);
 }
 
 double CpuResource::utilization() const {

@@ -32,9 +32,13 @@ class CpuResource {
 
   // Jobs park here until their completion event fires; the event itself
   // captures only `this`, so it always fits the scheduler's inline record.
+  // Each job remembers the trace context it was submitted under: with the
+  // CPU busy, the completion event for job N is scheduled from job N-1's
+  // completion, so context must ride the queue, not the event.
   struct Job {
     des::SimTime cost;
     des::Action done;
+    des::TraceContext ctx;
   };
 
   des::Scheduler& sched_;

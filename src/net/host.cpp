@@ -57,6 +57,12 @@ void Host::send_datagram(IpPacket pkt) {
   pkt.src = id_;
   if (pkt.datagram_id == 0)
     pkt.datagram_id = static_cast<std::uint32_t>(next_datagram_id());
+  // Workload origins upstream (tcp, meta, flow) stamp the context before
+  // reaching here; an unstamped packet inherits the running event's trace.
+  if (des::SpanHook* h = sched_.span_hook();
+      h != nullptr && !pkt.ctx.valid()) {
+    pkt.ctx = h->current();
+  }
 
   const std::uint32_t mtu =
       static_cast<std::uint32_t>(route->nic->mtu().count());
@@ -90,11 +96,24 @@ void Host::send_datagram(IpPacket pkt) {
 }
 
 void Host::emit(IpPacket pkt, const Route& route) {
+  des::SpanHook* h = sched_.span_hook();
+  std::uint64_t span = 0;
+  des::TraceContext prev;
+  if (h != nullptr && pkt.ctx.valid()) {
+    // Covers both the wait behind earlier packets on the serialized CPU
+    // and this packet's own protocol cost.
+    span = h->begin_span(pkt.ctx, des::SpanPhase::kHostCpu, "host",
+                         name_.c_str(), sched_.now());
+    prev = h->adopt(pkt.ctx);
+  }
   cpu_.execute(send_cost(pkt),
-               [this, pkt = std::move(pkt), &route]() mutable {
+               [this, pkt = std::move(pkt), &route, span]() mutable {
+                 if (des::SpanHook* h2 = sched_.span_hook(); h2 != nullptr)
+                   h2->end_span(span, sched_.now());
                  ++packets_sent_;
                  route.nic->transmit(std::move(pkt), route.next_hop);
                });
+  if (h != nullptr && span != 0) h->adopt(prev);
 }
 
 void Host::receive_from_nic(IpPacket pkt) {
@@ -104,7 +123,17 @@ void Host::receive_from_nic(IpPacket pkt) {
     ++recv_outage_drops_;
     return;
   }
-  cpu_.execute(recv_cost(pkt), [this, pkt = std::move(pkt)]() mutable {
+  des::SpanHook* h = sched_.span_hook();
+  std::uint64_t span = 0;
+  des::TraceContext prev;
+  if (h != nullptr && pkt.ctx.valid()) {
+    span = h->begin_span(pkt.ctx, des::SpanPhase::kHostCpu, "host",
+                         name_.c_str(), sched_.now());
+    prev = h->adopt(pkt.ctx);
+  }
+  cpu_.execute(recv_cost(pkt), [this, pkt = std::move(pkt), span]() mutable {
+    if (des::SpanHook* h2 = sched_.span_hook(); h2 != nullptr)
+      h2->end_span(span, sched_.now());
     if (pkt.dst != id_) {
       if (!forwarding_ || pkt.ttl == 0) {
         ++unroutable_;
@@ -140,7 +169,18 @@ void Host::deliver_local(IpPacket pkt) {
   if (re.received_bytes == 0 && !re.timeout.pending()) {
     re.timeout = sched_.schedule_after(
         des::SimTime::milliseconds(500),
-        [this, key]() { reassembly_.erase(key); });
+        [this, key]() {
+          auto it = reassembly_.find(key);
+          if (it == reassembly_.end()) return;
+          if (des::SpanHook* h = sched_.span_hook(); h != nullptr)
+            h->abort_span(it->second.span, sched_.now());
+          reassembly_.erase(it);
+        });
+    if (des::SpanHook* h = sched_.span_hook();
+        h != nullptr && pkt.ctx.valid()) {
+      re.span = h->begin_span(pkt.ctx, des::SpanPhase::kReassemblyWait,
+                              "host", name_.c_str(), sched_.now());
+    }
   }
   re.received_bytes += pkt.total_bytes - kIpHeaderBytes;
   if (pkt.frag_offset == 0) re.first = pkt;
@@ -153,6 +193,8 @@ void Host::deliver_local(IpPacket pkt) {
     whole.frag_offset = 0;
     whole.more_fragments = false;
     re.timeout.cancel();
+    if (des::SpanHook* h = sched_.span_hook(); h != nullptr)
+      h->end_span(re.span, sched_.now());
     reassembly_.erase(key);
     dispatch(whole);
   }

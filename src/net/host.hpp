@@ -120,6 +120,7 @@ class Host {
     std::uint32_t total_bytes = 0;  // 0 until the last fragment arrives
     IpPacket first;                 // carries ports/payload of the datagram
     des::EventHandle timeout;
+    std::uint64_t span = 0;         // open reassembly-wait span (obs)
   };
 
   const Route* lookup(HostId dst) const;

@@ -17,10 +17,12 @@ void Link::set_up(bool up) {
   up_ = up;
   if (!up_) {
     // Flush the queue: anything waiting for the wire is lost with it.
+    des::SpanHook* h = sched_.span_hook();
     for (const Frame& f : queue_) {
       ++outage_drops_;
       outage_dropped_bytes_ += f.wire_bytes;
       queued_bytes_ -= f.wire_bytes;
+      if (h != nullptr) h->abort_span(f.span, sched_.now());
     }
     queue_.clear();
     queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
@@ -44,6 +46,14 @@ bool Link::submit(Frame f) {
   }
   queued_bytes_ += f.wire_bytes;
   queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+  // Per-frame spans are an exact-mode feature: fluid bursts deliberately
+  // give up per-frame identity, so they stay untraced.
+  if (des::SpanHook* h = sched_.span_hook();
+      h != nullptr && f.pkt.ctx.valid() &&
+      cfg_.fidelity == LinkFidelity::kExact) {
+    f.span = h->begin_span(f.pkt.ctx, des::SpanPhase::kQueueWait, "link",
+                           name_.c_str(), sched_.now());
+  }
   queue_.push_back(std::move(f));
   maybe_start();
   return true;
@@ -57,22 +67,37 @@ void Link::maybe_start() {
     Frame f = std::move(queue_.front());
     queue_.pop_front();
 
+    des::SpanHook* h = sched_.span_hook();
+    if (h != nullptr) {
+      h->end_span(f.span, sched_.now());  // queue-wait over
+      f.span = f.pkt.ctx.valid()
+                   ? h->begin_span(f.pkt.ctx, des::SpanPhase::kSerialize,
+                                   "link", name_.c_str(), sched_.now())
+                   : 0;
+    }
     const des::SimTime tx =
         units::transmission_time(units::Bytes{f.wire_bytes}, cfg_.rate) +
         cfg_.per_frame_overhead;
     busy_accum_ += tx;
+    // Bracket the schedule with adopt(): the transmit event belongs to the
+    // frame's trace, not to whichever event pulled it off the queue.
+    const des::TraceContext prev =
+        h != nullptr ? h->adopt(f.pkt.ctx) : des::TraceContext{};
     sched_.schedule_after(tx, [this, f = std::move(f)]() mutable {
       transmitting_ = false;
       queued_bytes_ -= f.wire_bytes;
       queue_depth_.update(sched_.now(), static_cast<double>(queued_bytes_));
+      des::SpanHook* h2 = sched_.span_hook();
       if (!up_) {
         // The line was cut while this frame was being clocked out.
         ++outage_drops_;
         outage_dropped_bytes_ += f.wire_bytes;
+        if (h2 != nullptr) h2->abort_span(f.span, sched_.now());
         return;
       }
       ++frames_sent_;
       bytes_sent_ += f.wire_bytes;
+      if (h2 != nullptr) h2->end_span(f.span, sched_.now());  // serialized
       if (cfg_.bit_error_rate > 0.0) {
         // P(frame corrupted) = 1 - (1-BER)^bits; the AAL5 CRC discards it.
         const double bits = static_cast<double>(f.wire_bytes) * 8.0;
@@ -84,12 +109,19 @@ void Link::maybe_start() {
         }
       }
       if (sink_) {
+        if (h2 != nullptr && f.pkt.ctx.valid())
+          f.span = h2->begin_span(f.pkt.ctx, des::SpanPhase::kPropagate,
+                                  "link", name_.c_str(), sched_.now());
         sched_.schedule_after(cfg_.propagation, [this, f = std::move(f)]() mutable {
+          if (des::SpanHook* h3 = sched_.span_hook(); h3 != nullptr)
+            h3->end_span(f.span, sched_.now());
+          f.span = 0;
           sink_(std::move(f));
         });
       }
       maybe_start();
     });
+    if (h != nullptr) h->adopt(prev);
     return;
   }
 
@@ -110,6 +142,13 @@ void Link::maybe_start() {
     total += tx;
     burst.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    // A frame submitted under exact fidelity may carry an open queue span
+    // into a runtime switch to fluid; bursts are untraced, so retire it.
+    if (des::SpanHook* h = sched_.span_hook();
+        h != nullptr && burst.back().span != 0) {
+      h->end_span(burst.back().span, sched_.now());
+      burst.back().span = 0;
+    }
   }
   busy_accum_ += total;
   sched_.schedule_after(total, [this, idx]() { finish_burst(idx); });

@@ -26,6 +26,9 @@ struct Frame {
   std::uint32_t wire_bytes = 0;  // bytes on the wire including L2 overhead
   std::uint32_t vc = 0;          // ATM virtual circuit id (0 = not ATM)
   HostId l2_dst = kNoHost;       // L2 next stop (HiPPI station addressing)
+  // Open link-layer span riding the frame between its queue/transmit
+  // events (obs::SpanTracer, DESIGN.md §13); 0 when untraced.
+  std::uint64_t span = 0;
 };
 
 using FrameSink = std::function<void(Frame)>;

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "des/span_hook.hpp"
+
 namespace gtw::net {
 
 using HostId = std::uint32_t;
@@ -51,6 +53,10 @@ struct IpPacket {
   std::uint32_t datagram_id = 0;
   std::uint32_t frag_offset = 0;   // bytes of transport data preceding this
   bool more_fragments = false;
+
+  // Causal trace identity (DESIGN.md §13).  Rides the packet through
+  // fragmentation, forwarding and retransmission; trace_id 0 = untraced.
+  des::TraceContext ctx;
 
   std::uint32_t payload_bytes() const {
     return total_bytes >= 20 ? total_bytes - 20 : 0;

@@ -15,6 +15,16 @@ std::uint64_t TcpConnection::ooo_bytes(const Endpoint& e) {
   return total;
 }
 
+des::TraceContext TcpConnection::ctx_for_seq(const Endpoint& e,
+                                             std::uint64_t seq) {
+  // messages is ordered by end_offset; the owner of `seq` is the first
+  // message whose range extends past it.  Segments and stalls nest under
+  // the message's own transfer span when it has one.
+  for (const Message& m : e.messages)
+    if (m.end_offset > seq) return des::under(m.ctx, m.span);
+  return {};
+}
+
 TcpConnection::TcpConnection(Host& a, Host& b, std::uint16_t port_a,
                              std::uint16_t port_b, TcpConfig config)
     : sched_(a.scheduler()), cfg_(config) {
@@ -35,10 +45,21 @@ TcpConnection::TcpConnection(Host& a, Host& b, std::uint16_t port_a,
 }
 
 TcpConnection::~TcpConnection() {
+  des::SpanHook* h = sched_.span_hook();
   for (auto& e : ep_) {
     if (e.host != nullptr) e.host->unbind(IpProto::kTcp, e.local_port);
     e.rto_timer.cancel();
     e.ack_timer.cancel();
+    if (h != nullptr) {
+      // A torn-down connection (PathTransport stall reset, test teardown)
+      // retires its in-flight spans as aborted rather than leaking them.
+      h->abort_span(e.stall_span, sched_.now());
+      e.stall_span = 0;
+      for (Message& m : e.messages) {
+        h->abort_span(m.span, sched_.now());
+        m.span = 0;
+      }
+    }
   }
 }
 
@@ -48,8 +69,14 @@ void TcpConnection::send(int side, units::Bytes amount, std::any data,
   Endpoint& e = ep_[side];
   e.snd_end += amount.count();
   e.stats.bytes_queued += amount.count();
-  e.messages.push_back(Message{e.snd_end, std::move(data),
-                               std::move(on_delivered)});
+  Message msg{e.snd_end, std::move(data), std::move(on_delivered)};
+  if (des::SpanHook* h = sched_.span_hook(); h != nullptr) {
+    msg.ctx = h->current();
+    if (msg.ctx.valid())
+      msg.span = h->begin_span(msg.ctx, des::SpanPhase::kTransfer, "tcp",
+                               "msg", sched_.now());
+  }
+  e.messages.push_back(std::move(msg));
   try_send(side);
 }
 
@@ -110,8 +137,18 @@ void TcpConnection::send_segment(int side, std::uint64_t seq,
     e.timed_seq = seq + len;
     e.timed_at = sched_.now();
   }
+  des::SpanHook* h = sched_.span_hook();
+  des::TraceContext prev;
+  if (h != nullptr) {
+    // Segments (and their downstream host/link events, including the RTO
+    // timer armed below) belong to the message that owns this byte range,
+    // not to whichever ACK event triggered the transmission.
+    pkt.ctx = ctx_for_seq(e, seq);
+    prev = h->adopt(pkt.ctx);
+  }
   arm_rto(side);
   e.host->send_datagram(std::move(pkt));
+  if (h != nullptr) h->adopt(prev);
 }
 
 void TcpConnection::arm_rto(int side) {
@@ -125,6 +162,18 @@ void TcpConnection::on_rto(int side) {
   Endpoint& e = ep_[side];
   if (e.snd_una >= e.snd_end && e.snd_una == e.snd_nxt) return;  // all done
   ++e.stats.timeouts;
+  if (des::SpanHook* h = sched_.span_hook();
+      h != nullptr && e.stall_span == 0) {
+    // Loss recovery begins: the connection makes no forward progress for
+    // the application until the cumulative ACK passes today's high-water
+    // mark.  One span covers the whole episode (back-to-back RTOs extend
+    // it rather than opening new spans).
+    des::TraceContext parent = ctx_for_seq(e, e.snd_una);
+    if (!parent.valid()) parent = h->current();
+    e.stall_span = h->begin_span(parent, des::SpanPhase::kRetransmitStall,
+                                 "tcp", "rto", sched_.now());
+    e.stall_until = e.snd_max;
+  }
   // Multiplicative decrease and go-back-N.
   const double mss = static_cast<double>(cfg_.mss.count());
   const double flight = static_cast<double>(e.snd_nxt - e.snd_una);
@@ -237,6 +286,11 @@ void TcpConnection::process_ack(int side, const TcpSegHeader& m) {
   Endpoint& e = ep_[side];
   if (m.ack > e.snd_una) {
     e.snd_una = m.ack;
+    if (e.stall_span != 0 && e.snd_una >= e.stall_until) {
+      if (des::SpanHook* h = sched_.span_hook(); h != nullptr)
+        h->end_span(e.stall_span, sched_.now());
+      e.stall_span = 0;
+    }
     // During go-back-N an ACK can overtake the reset send point (the first
     // resent segment fills a hole and the cumulative ACK jumps past it);
     // without this snap `snd_nxt - snd_una` underflows and the sender
@@ -282,6 +336,15 @@ void TcpConnection::process_ack(int side, const TcpSegHeader& m) {
     if (++e.dupacks == 3) {
       // Fast retransmit + multiplicative decrease.
       ++e.stats.fast_retransmits;
+      if (des::SpanHook* h = sched_.span_hook();
+          h != nullptr && e.stall_span == 0) {
+        des::TraceContext parent = ctx_for_seq(e, e.snd_una);
+        if (!parent.valid()) parent = h->current();
+        e.stall_span = h->begin_span(parent,
+                                     des::SpanPhase::kRetransmitStall, "tcp",
+                                     "fast-rtx", sched_.now());
+        e.stall_until = e.snd_max;
+      }
       const double flight = static_cast<double>(e.snd_nxt - e.snd_una);
       e.ssthresh =
           std::max(flight / 2.0, 2.0 * static_cast<double>(cfg_.mss.count()));
@@ -301,7 +364,17 @@ void TcpConnection::deliver_messages(int sender_side) {
          sender.messages.front().end_offset <= received) {
     Message msg = std::move(sender.messages.front());
     sender.messages.pop_front();
+    des::SpanHook* h = sched_.span_hook();
+    des::TraceContext prev;
+    if (h != nullptr) {
+      h->end_span(msg.span, sched_.now());
+      // Delivery continuations (PathTransport reassembly, Communicator
+      // dispatch) run under the message's own trace, not the trace of the
+      // segment whose arrival happened to complete it.
+      prev = h->adopt(msg.ctx);
+    }
     if (msg.cb) msg.cb(msg.data, sched_.now());
+    if (h != nullptr) h->adopt(prev);
   }
 }
 

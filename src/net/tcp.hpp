@@ -101,6 +101,8 @@ class TcpConnection {
     std::uint64_t end_offset;
     std::any data;
     DeliveryCallback cb;
+    des::TraceContext ctx;   // trace of the application send (obs)
+    std::uint64_t span = 0;  // open tcp-transfer span, closed on delivery
   };
 
   struct Endpoint {
@@ -130,6 +132,12 @@ class TcpConnection {
     bool ack_pending = false;
     des::EventHandle ack_timer;
 
+    // Open retransmit-stall span (obs): begun at the first loss signal
+    // (3rd dupack or RTO), closed once the cumulative ACK passes the
+    // recovery point captured in stall_until.
+    std::uint64_t stall_span = 0;
+    std::uint64_t stall_until = 0;
+
     Stats stats;
   };
 
@@ -146,6 +154,9 @@ class TcpConnection {
   void deliver_messages(int sender_side);
   std::uint64_t window_bytes(const Endpoint& e, const Endpoint& peer) const;
   static std::uint64_t ooo_bytes(const Endpoint& e);
+  // Trace of the message whose byte range contains `seq` (invalid when the
+  // message was already delivered or the send was untraced).
+  static des::TraceContext ctx_for_seq(const Endpoint& e, std::uint64_t seq);
 
   des::Scheduler& sched_;
   TcpConfig cfg_;

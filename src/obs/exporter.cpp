@@ -1,49 +1,19 @@
 #include "obs/exporter.hpp"
 
-#include <cinttypes>
 #include <cstdio>
 #include <deque>
 #include <map>
 #include <ostream>
 #include <tuple>
 
+#include "obs/json_util.hpp"
+
 namespace gtw::obs {
 
 namespace {
 
-// JSON string escape (control characters, quote, backslash).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// Chrome `ts` is microseconds.  1 us == 1'000'000 ps, so the 6-digit
-// fraction below is the picosecond remainder verbatim: exact integer
-// formatting, byte-identical run to run.
-std::string ts_us(std::int64_t ps) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%" PRId64 ".%06" PRId64, ps / 1'000'000,
-                ps % 1'000'000);
-  return buf;
-}
+using detail::json_escape;
+using detail::ts_us;
 
 std::string fmt_double(double v) {
   char buf[40];
@@ -170,7 +140,9 @@ void write_metrics_json(std::ostream& os, const Registry& reg,
     os << "], \"buckets\": [";
     for (std::size_t i = 0; i < s.hist->buckets().size(); ++i)
       os << (i ? ", " : "") << s.hist->buckets()[i];
-    os << "]}";
+    os << "], \"p50\": " << fmt_double(s.hist->quantile(0.50))
+       << ", \"p90\": " << fmt_double(s.hist->quantile(0.90))
+       << ", \"p99\": " << fmt_double(s.hist->quantile(0.99)) << "}";
     first = false;
   }
   os << "\n  },\n  \"marks\": [";
@@ -196,6 +168,12 @@ void write_metrics_csv(std::ostream& os, const Registry& reg) {
         break;
       case Registry::Kind::kHistogram:
         os << s.name << ",histogram_count," << s.u << "\n";
+        os << s.name << ",histogram_p50," << fmt_double(s.hist->quantile(0.50))
+           << "\n";
+        os << s.name << ",histogram_p90," << fmt_double(s.hist->quantile(0.90))
+           << "\n";
+        os << s.name << ",histogram_p99," << fmt_double(s.hist->quantile(0.99))
+           << "\n";
         break;
     }
   }

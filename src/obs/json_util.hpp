@@ -1,0 +1,47 @@
+// Tiny JSON output helpers shared by the obs exporters (exporter.cpp,
+// span_analysis.cpp).  Header-only on purpose: both users are inside
+// gtw_obs and the functions are two lines of formatting each.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gtw::obs::detail {
+
+// JSON string escape (control characters, quote, backslash).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome `ts` is microseconds.  1 us == 1'000'000 ps, so the 6-digit
+// fraction below is the picosecond remainder verbatim: exact integer
+// formatting, byte-identical run to run.
+inline std::string ts_us(std::int64_t ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%06" PRId64, ps / 1'000'000,
+                ps % 1'000'000);
+  return buf;
+}
+
+}  // namespace gtw::obs::detail

@@ -21,6 +21,26 @@ void Histogram::add(double x) {
   sum_ += x;
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (target - cum) / static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return bounds_.back();
+}
+
 Registry::Instrument& Registry::define(const std::string& name, Kind kind) {
   if (name.empty()) throw std::logic_error("obs: empty instrument name");
   auto [it, inserted] = instruments_.try_emplace(name);

@@ -63,6 +63,11 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   // bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  // Quantile estimate by linear interpolation inside the covering bucket
+  // (the first bucket interpolates from 0, the overflow bucket clamps to
+  // the top bound — an explicit-bound histogram knows nothing beyond it).
+  // q in [0, 1]; returns 0 while the histogram is empty.
+  double quantile(double q) const;
 
  private:
   std::vector<double> bounds_;

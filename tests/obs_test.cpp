@@ -319,8 +319,28 @@ TEST(ObsChromeExportTest, MetricsJsonMatchesGolden) {
   EXPECT_EQ(csv.str(),
             "name,kind,value\n"
             "fire.delay_s,histogram_count,4\n"
+            "fire.delay_s,histogram_p50,3\n"
+            "fire.delay_s,histogram_p90,5\n"
+            "fire.delay_s,histogram_p99,5\n"
             "net.link.wan.tx_bytes,counter,123456789\n"
             "net.link.wan.utilization,gauge,0.640625\n");
+}
+
+// Quantile estimation over explicit buckets: interpolation inside the
+// covering bucket, 0-anchored first bucket, overflow clamped to the top
+// bound, and the empty-histogram degenerate case.
+TEST(ObsRegistryTest, HistogramQuantiles) {
+  obs::Histogram h({10.0, 20.0, 40.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) h.add(5.0);    // bucket [0,10]
+  for (int i = 0; i < 10; ++i) h.add(15.0);   // bucket (10,20]
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);    // midway through bucket 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);    // exactly the bucket edge
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);   // midway through bucket 1
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  h.add(1000.0);                              // overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);    // clamped to the top bound
 }
 
 // Traces beyond 65k events must export with unique flow ids and stay
